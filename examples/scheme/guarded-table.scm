@@ -1,0 +1,28 @@
+;; Figure 1's guarded hash table (a prelude library here), under churn.
+;; Run with: dune exec bin/gbc_scheme.exe -- examples/scheme/guarded-table.scm
+
+(define tbl (make-guarded-hash-table (lambda (k size) (modulo (car k) size)) 32))
+
+;; Insert 100 keyed records, keeping only the last 5 keys alive.
+(define window '())
+(let loop ([i 0])
+  (unless (= i 100)
+    (let ([key (cons i (* i i))])
+      (tbl key i)
+      (set! window (cons key window))
+      (when (> (length window) 5)
+        (set! window (reverse (cdr (reverse window))))))
+    (loop (+ i 1))))
+
+(collect 4)
+
+;; Accessing the table expunges the associations of the ~95 dead keys; the
+;; five live ones still answer.
+(define probe (cons -1 0))
+(tbl probe 'probe)
+(display "live keys still present: ")
+(write (map (lambda (k) (tbl k 'would-insert)) window))
+(newline)
+(display "window size: ")
+(write (length window))
+(newline)

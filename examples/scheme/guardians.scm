@@ -1,0 +1,49 @@
+;; The paper's Section 3 guardian transcripts, as a runnable script.
+;; Run with: dune exec bin/gbc_scheme.exe -- examples/scheme/guardians.scm
+
+(define (show label v)
+  (display label)
+  (display ": ")
+  (write v)
+  (newline))
+
+;; Basic registration and retrieval.
+(define G (make-guardian))
+(define x (cons 'a 'b))
+(G x)
+(show "before drop" (G))            ; #f — x is still accessible
+(set! x #f)
+(collect 4)
+(show "after drop" (G))             ; (a . b) — saved from destruction
+(show "queue now empty" (G))        ; #f
+
+;; An object may be registered more than once...
+(define G2 (make-guardian))
+(define y (cons 'c 'd))
+(G2 y) (G2 y)
+(set! y #f)
+(collect 4)
+(show "twice registered, first" (G2))
+(show "twice registered, second" (G2))
+
+;; ...or with more than one guardian.
+(define Ga (make-guardian))
+(define Gb (make-guardian))
+(define z (cons 'e 'f))
+(Ga z) (Gb z)
+(set! z #f)
+(collect 4)
+(show "guardian A" (Ga))
+(show "guardian B" (Gb))
+(show "same object" (eq? (Ga) (Gb)))  ; both already drained: (#f)
+
+;; One can even register one guardian with another.
+(define Outer (make-guardian))
+(define Inner (make-guardian))
+(define w (cons 'g 'h))
+(Outer Inner)
+(Inner w)
+(set! w #f)
+(set! Inner #f)
+(collect 4)
+(show "inner guardian's object" ((Outer)))

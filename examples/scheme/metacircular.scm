@@ -1,0 +1,98 @@
+;; A metacircular evaluator running on the guardians VM — and, through it,
+;; the paper's guardian example running one interpretation level up.
+;; Run with: dune exec bin/gbc_scheme.exe -- examples/scheme/metacircular.scm
+
+;; Environments: list of frames; a frame is a list of (name . value) pairs.
+(define (env-lookup env name)
+  (if (null? env)
+      (error "unbound variable" name)
+      (let ([a (assq name (car env))])
+        (if a (cdr a) (env-lookup (cdr env) name)))))
+
+(define (env-set! env name value)
+  (if (null? env)
+      (error "set! of unbound variable" name)
+      (let ([a (assq name (car env))])
+        (if a (set-cdr! a value) (env-set! (cdr env) name value)))))
+
+(define (env-define! env name value)
+  (let ([a (assq name (car env))])
+    (if a
+        (set-cdr! a value)
+        (set-car! env (cons (cons name value) (car env))))))
+
+(define (extend env names values)
+  (cons (map cons names values) env))
+
+;; Closures of the object language: #(closure params body env)
+(define (make-closure params body env) (vector 'closure params body env))
+(define (closure? v) (and (vector? v) (eq? (vector-ref v 0) 'closure)))
+
+(define (self-evaluating? e)
+  (or (number? e) (string? e) (boolean? e) (char? e)))
+
+(define (m-eval expr env)
+  (cond
+    [(self-evaluating? expr) expr]
+    [(symbol? expr) (env-lookup env expr)]
+    [(pair? expr)
+     (case (car expr)
+       [(quote) (cadr expr)]
+       [(if) (if (m-eval (cadr expr) env)
+                 (m-eval (caddr expr) env)
+                 (if (null? (cdddr expr)) #f (m-eval (car (cdddr expr)) env)))]
+       [(lambda) (make-closure (cadr expr) (cddr expr) env)]
+       [(define) (env-define! env (cadr expr) (m-eval (caddr expr) env)) 'defined]
+       [(set!) (env-set! env (cadr expr) (m-eval (caddr expr) env)) 'set]
+       [(begin) (m-eval-sequence (cdr expr) env)]
+       [(let) (let ([names (map car (cadr expr))]
+                    [inits (map (lambda (b) (m-eval (cadr b) env)) (cadr expr))])
+                (m-eval-sequence (cddr expr) (extend env names inits)))]
+       [else (m-apply (m-eval (car expr) env)
+                      (map (lambda (a) (m-eval a env)) (cdr expr)))])]
+    [else (error "cannot evaluate" expr)]))
+
+(define (m-eval-sequence body env)
+  (if (null? (cdr body))
+      (m-eval (car body) env)
+      (begin (m-eval (car body) env) (m-eval-sequence (cdr body) env))))
+
+(define (m-apply f args)
+  (cond
+    [(closure? f)
+     (m-eval-sequence (vector-ref f 2)
+                      (extend (vector-ref f 3) (vector-ref f 1) args))]
+    [(procedure? f) (apply f args)]     ; host primitive
+    [else (error "cannot apply" f)]))
+
+(define (cdddr p) (cdr (cddr p)))
+
+;; The global frame of the object language: a few host primitives,
+;; including the guardian interface itself.
+(define global-env
+  (list (map cons
+             '(+ - * = < cons car cdr null? pair? display newline
+               collect make-guardian weak-cons eq?)
+             (list + - * = < cons car cdr null? pair? display newline
+                   collect make-guardian weak-cons eq?))))
+
+(define (run program) (m-eval program global-env))
+
+;; Factorial, one level up.
+(display "meta factorial 10 = ")
+(display (run '(begin
+                 (define fact (lambda (n) (if (= n 0) 1 (* n (fact (- n 1))))))
+                 (fact 10))))
+(newline)
+
+;; The paper's guardian transcript, interpreted by the interpreted Scheme.
+(display "meta guardian session:")
+(newline)
+(run '(begin
+        (define G (make-guardian))
+        (define x (cons (quote a) (quote b)))
+        (G x)
+        (display "  before drop: ") (display (G)) (newline)
+        (set! x #f)
+        (collect 4)
+        (display "  after drop:  ") (display (G)) (newline)))

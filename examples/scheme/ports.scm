@@ -1,0 +1,55 @@
+;; The paper's guarded ports, end to end: dropped ports are flushed and
+;; closed by close-dropped-ports installed as the collect-request handler.
+;; Run with: dune exec bin/gbc_scheme.exe -- examples/scheme/ports.scm
+
+(define port-guardian (make-guardian))
+(define closed 0)
+
+(define (close-dropped-ports)
+  (let ([p (port-guardian)])
+    (if p
+        (begin
+          (set! closed (+ closed 1))
+          (if (output-port? p)
+              (begin (flush-output-port p) (close-output-port p))
+              (close-input-port p))
+          (close-dropped-ports))
+        (void))))
+
+(define (guarded-open-output-file pathname)
+  (close-dropped-ports)
+  (let ([p (open-output-file pathname)])
+    (port-guardian p)
+    p))
+
+(collect-request-handler
+  (lambda ()
+    (collect)
+    (close-dropped-ports)))
+
+;; Open 30 ports, writing to each, closing none ourselves.
+(let loop ([i 0])
+  (unless (= i 30)
+    (let ([p (guarded-open-output-file (string-append "out" (number->string i)))])
+      (display "record " p)
+      (display i p))
+    ;; churn to trigger collect requests
+    (let churn ([j 0]) (unless (= j 2000) (cons j j) (churn (+ j 1))))
+    (loop (+ i 1))))
+
+(collect 4)
+(close-dropped-ports)
+
+(display "ports closed by the guardian: ")
+(write closed)
+(newline)
+
+;; Prove the data was flushed, not lost.
+(define in (open-input-file "out7"))
+(display "out7 contains: ")
+(let loop ([c (read-char in)])
+  (unless (eof-object? c)
+    (write-char c)
+    (loop (read-char in))))
+(close-input-port in)
+(newline)

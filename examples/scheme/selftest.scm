@@ -1,0 +1,182 @@
+;; A self-test of the Scheme system, written in the Scheme system.
+;; Run with: dune exec bin/gbc_scheme.exe -- examples/scheme/selftest.scm
+;;
+;; Each check compares a computed value against its expected printed form
+;; (via write-to-string), so the suite exercises the printer, string
+;; ports, and the evaluator at once.  Prints one line per failure and a
+;; final tally.
+
+(define pass 0)
+(define fail 0)
+
+(define (check name expected actual)
+  (let ([e (write-to-string expected)]
+        [a (write-to-string actual)])
+    (if (string=? e a)
+        (set! pass (+ pass 1))
+        (begin
+          (set! fail (+ fail 1))
+          (display "FAIL ") (display name)
+          (display ": expected ") (display e)
+          (display ", got ") (display a)
+          (newline)))))
+
+;; --- numbers -------------------------------------------------------
+(check 'add 10 (+ 1 2 3 4))
+(check 'sub -3 (- 1 4))
+(check 'mul 24 (* 2 3 4))
+(check 'nested 14 (+ 2 (* 3 4)))
+(check 'quotient 3 (quotient 10 3))
+(check 'remainder 1 (remainder 10 3))
+(check 'modulo-neg 2 (modulo -7 3))
+(check 'compare '(#t #f #t) (list (< 1 2 3) (< 3 2) (>= 3 3 2)))
+(check 'minmax '(1 5) (list (min 3 1) (max 1 5)))
+(check 'float 3.5 (+ 1.5 2))
+(check 'zero (list #t #f) (list (zero? 0) (zero? 1)))
+(check 'num->str "42" (number->string 42))
+(check 'str->num 42 (string->number "42"))
+
+;; --- pairs and lists -----------------------------------------------
+(check 'cons '(1 . 2) (cons 1 2))
+(check 'list '(1 2 3) (list 1 2 3))
+(check 'append '(1 2 3 4) (append '(1 2) '(3 4)))
+(check 'reverse '(3 2 1) (reverse '(1 2 3)))
+(check 'length 4 (length '(a b c d)))
+(check 'map '(2 4 6) (map (lambda (x) (* 2 x)) '(1 2 3)))
+(check 'map2 '(5 7 9) (map + '(1 2 3) '(4 5 6)))
+(check 'filter '(2 4) (filter even? '(1 2 3 4 5)))
+(check 'fold 10 (fold-left + 0 '(1 2 3 4)))
+(check 'assq '(b . 2) (assq 'b '((a . 1) (b . 2))))
+(check 'memq '(c d) (memq 'c '(a b c d)))
+(check 'sort '(1 2 3 4) (sort < '(3 1 4 2)))
+(check 'iota '(0 1 2 3) (iota 4))
+(check 'list-tail '(c) (list-tail '(a b c) 2))
+(check 'setcdr '(1 . 9) (let ([p (cons 1 2)]) (set-cdr! p 9) p))
+
+;; --- characters and strings ----------------------------------------
+(check 'char #\b (string-ref "abc" 1))
+(check 'upcase #\A (char-upcase #\a))
+(check 'strlen 5 (string-length "hello"))
+(check 'substr "ell" (substring "hello" 1 4))
+(check 'append-str "foobar" (string-append "foo" "bar"))
+(check 'str->list '(#\h #\i) (string->list "hi"))
+(check 'list->str "hi" (list->string (list #\h #\i)))
+(check 'join "a-b-c" (string-join "-" '("a" "b" "c")))
+(check 'str-escape "a\"b" (list->string (list #\a #\" #\b)))
+
+;; --- control --------------------------------------------------------
+(check 'cond 'two (cond [(= 1 2) 'one] [(= 2 2) 'two] [else 'other]))
+(check 'case 'vowel (case #\a [(#\a #\e #\i #\o #\u) 'vowel] [else 'consonant]))
+(check 'named-let 120 (let fac ([n 5] [acc 1]) (if (zero? n) acc (fac (- n 1) (* acc n)))))
+(check 'do-loop 45 (do ([i 0 (+ i 1)] [s 0 (+ s i)]) ((= i 10) s)))
+(check 'and-or '(3 #f 1 #f) (list (and 1 2 3) (and 1 #f 3) (or #f 1 2) (or #f #f)))
+(check 'apply 15 (apply + 1 2 '(3 4 5)))
+(check 'varargs '(1 (2 3)) ((lambda (a . rest) (list a rest)) 1 2 3))
+(check 'case-lambda '(0 1 2)
+  (let ([f (case-lambda [() 0] [(a) 1] [(a b) 2])])
+    (list (f) (f 'x) (f 'x 'y))))
+(check 'closure-state '(1 2 3)
+  (let ([c (let ([n 0]) (lambda () (set! n (+ n 1)) n))])
+    (list (c) (c) (c))))
+(check 'deep-tail 'done
+  (let loop ([n 50000]) (if (zero? n) 'done (loop (- n 1)))))
+(check 'callcc-escape 'out
+  (call/cc (lambda (k) (for-each (lambda (x) (when (= x 2) (k 'out))) '(1 2 3)) 'fell-through)))
+(check 'dynamic-wind '(in body out)
+  (let ([l '()])
+    (dynamic-wind (lambda () (set! l (cons 'in l)))
+                  (lambda () (set! l (cons 'body l)))
+                  (lambda () (set! l (cons 'out l))))
+    (reverse l)))
+(check 'error-handler 'caught
+  (with-error-handler (lambda (m) 'caught) (lambda () (car '()))))
+
+;; --- quasiquote ------------------------------------------------------
+(check 'qq '(1 2 3) `(1 ,(+ 1 1) 3))
+(check 'qq-splice '(0 1 2 3) `(0 ,@(list 1 2) 3))
+(check 'qq-vector '#(1 4) `#(1 ,(* 2 2)))
+
+;; --- vectors ----------------------------------------------------------
+(check 'vector '#(1 2 3) (vector 1 2 3))
+(check 'vector-ops '(3 b #(a x c))
+  (let ([v (vector 'a 'b 'c)])
+    (list (vector-length v) (vector-ref v 1)
+          (begin (vector-set! v 1 'x) v))))
+(check 'vector-map '#(1 4 9) (vector-map (lambda (x) (* x x)) '#(1 2 3)))
+
+;; --- records -----------------------------------------------------------
+(define-record-type pare (kons x y) pare? (x kar set-kar!) (y kdr))
+(check 'record '(#t #f 1 2 9)
+  (let ([p (kons 1 2)])
+    (list (pare? p) (pare? 7) (kar p) (kdr p) (begin (set-kar! p 9) (kar p)))))
+
+;; --- equality -----------------------------------------------------------
+(check 'eq-sym #t (eq? 'a 'a))
+(check 'eqv-num #t (eqv? 100000 100000))
+(check 'equal-deep #t (equal? '(1 (2 #(3 "s"))) '(1 (2 #(3 "s")))))
+(check 'eq-fresh #f (eq? (list 1) (list 1)))
+
+;; --- guardians and weak structures ---------------------------------------
+(check 'guardian-basic '(a . b)
+  (let ([g (make-guardian)])
+    (let ([x (cons 'a 'b)]) (g x))
+    (collect 4)
+    (g)))
+(check 'guardian-live #f
+  (let ([g (make-guardian)] [x (cons 1 2)])
+    (g x)
+    (collect 4)
+    (let ([r (g)]) (set-car! x 99) r)))  ; x alive: nothing retrievable
+(check 'weak-drop #f
+  (let ([wp (weak-cons (cons 1 2) 'p)])
+    (collect 4)
+    (car wp)))
+(check 'weak-keep '(1 . 2)
+  (let* ([x (cons 1 2)] [wp (weak-cons x 'p)])
+    (collect 4)
+    (let ([r (car wp)]) (set-car! x 1) r)))
+(check 'ephemeron-collapse '(#f #f)
+  (let ([e (ephemeron-cons (cons 'k 1) (cons 'v 2))])
+    (collect 4)
+    (list (car e) (cdr e))))
+(check 'rep-interface 'agent
+  (let ([g (make-guardian)])
+    (g (cons 'big 'obj) 'agent)
+    (collect 4)
+    (g)))
+
+;; --- eq hashtables across collections -------------------------------------
+(check 'hashtable '(one two 2)
+  (let ([ht (make-eq-hashtable)] [k1 (cons 1 1)] [k2 'two-key])
+    (hashtable-set! ht k1 'one)
+    (hashtable-set! ht k2 'two)
+    (collect 4)
+    (list (hashtable-ref ht k1 'miss) (hashtable-ref ht k2 'miss) (hashtable-size ht))))
+
+;; --- io ---------------------------------------------------------------------
+(check 'string-port "(a b) 7"
+  (let ([p (open-output-string)])
+    (write '(a b) p)
+    (display " " p)
+    (display 7 p)
+    (get-output-string p)))
+(check 'read-roundtrip '(1 (2 . 3) #(4) "five" #\6)
+  (read-from-string (write-to-string '(1 (2 . 3) #(4) "five" #\6))))
+(check 'file-io '(hello world)
+  (begin
+    (call-with-output-file "st.tmp" (lambda (p) (display "hello world" p)))
+    (call-with-input-file "st.tmp"
+      (lambda (p) (let ([a (read p)] [b (read p)]) (list a b))))))
+
+;; --- gc pressure over everything -------------------------------------------
+(check 'big-structure-survives 4950
+  (let ([l (map (lambda (i) (vector i (number->string i))) (iota 100))])
+    (collect 4) (collect 4)
+    (fold-left + 0 (map (lambda (v) (vector-ref v 0)) l))))
+
+(display "self-test: ")
+(display pass)
+(display " passed, ")
+(display fail)
+(display " failed")
+(newline)

@@ -1,0 +1,25 @@
+;; Will executors (Racket-style) built on guardians, from the prelude.
+;; Run with: dune exec bin/gbc_scheme.exe -- examples/scheme/wills.scm
+
+(define we (make-will-executor))
+
+(define session (cons 'session-42 'state))
+(will-register we session
+  (lambda (obj)
+    (display "closing ")
+    (display (car obj))
+    (newline)))
+
+(display "session live; wills ready? ")
+(write (will-execute we))
+(newline)
+
+(set! session #f)
+(collect 4)
+
+(display "session dropped; running will:")
+(newline)
+(will-execute we)
+(display "wills remaining? ")
+(write (will-execute we))
+(newline)
