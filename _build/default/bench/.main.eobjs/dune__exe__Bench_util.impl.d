@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf String Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Bench_util Collector Config Gbc Gbc_baselines Gbc_runtime Gbc_vfs Guardian Handle Heap List Obj Printf Runtime Stats Tconc Unix Word

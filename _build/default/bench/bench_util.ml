@@ -1,0 +1,64 @@
+(* Small harness around Bechamel: run a group of tests, print one
+   estimated-time row per test, plus fixed-width counter tables. *)
+
+open Bechamel
+open Toolkit
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+(** Run Bechamel tests and print ns/run estimates. *)
+let run_tests ?(quota = 0.5) tests =
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) analyzed [] in
+      List.iter
+        (fun name ->
+          let est = Hashtbl.find analyzed name in
+          let time =
+            match Analyze.OLS.estimates est with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+          Printf.printf "  %-48s %12.1f ns/run   (r²=%.3f)\n" name time r2)
+        (List.sort compare names))
+    tests
+
+let section title = Printf.printf "\n==== %s ====\n%!" title
+
+let subsection title = Printf.printf "\n-- %s --\n%!" title
+
+(** Print a table: header row then int rows. *)
+let table ~header rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let print_row cells =
+    List.iteri
+      (fun i c -> Printf.printf "%s%*s" (if i = 0 then "  " else "  ") (List.nth widths i) c)
+      cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1e6)
+(* microseconds *)
+
+let fmt_us us = Printf.sprintf "%.1f" us

@@ -1,0 +1,87 @@
+(* The Scheme system's command-line driver.
+
+   Usage:
+     gbc_scheme                 interactive REPL
+     gbc_scheme FILE...         run files (on the shared machine, in order)
+     gbc_scheme -e EXPR         evaluate one expression and print it
+     gbc_scheme --gc-stats ...  print collector statistics at the end *)
+
+open Gbc_scheme
+
+let usage = "usage: gbc_scheme [--gc-stats] [-e EXPR] [FILE...]"
+
+let print_stats m =
+  let open Gbc_runtime in
+  let h = Machine.heap m in
+  let s = Heap.stats h in
+  Format.printf "@.;; --- collector statistics ---@.%a@." Stats.pp_counters
+    s.Stats.total;
+  Format.printf ";; registrations %d, guardian polls %d, hits %d@."
+    s.Stats.registrations s.Stats.guardian_polls s.Stats.guardian_hits;
+  Format.printf ";; live words %d, live segments %d@." (Heap.live_words h)
+    (Heap.live_segments h);
+  Format.printf ";; census: %a@." Census.pp (Census.run h)
+
+let repl m =
+  print_endline ";; guardians-in-a-generation-based-gc Scheme";
+  print_endline ";; (make-guardian), (weak-cons a d), (collect [gen]) are built in; ^D exits";
+  let rec loop () =
+    print_string "> ";
+    match read_line () with
+    | exception End_of_file -> print_newline ()
+    | line ->
+        (if String.trim line <> "" then
+           match Machine.eval_string m line with
+           | v ->
+               let s = Printer.to_string (Machine.heap m) v in
+               if s <> "#<void>" then print_endline s
+           | exception Machine.Error msg ->
+               Printf.printf "error: %s\n" msg;
+               Machine.reset m
+           | exception Reader.Error msg ->
+               Printf.printf "read error: %s\n" msg
+           | exception Compile.Error msg ->
+               Printf.printf "compile error: %s\n" msg
+           | exception Machine.Exit_signal -> exit 0);
+        loop ()
+  in
+  loop ()
+
+let run_file m path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  match Machine.eval_string m src with
+  | _ -> ()
+  | exception Machine.Exit_signal -> ()
+  | exception Machine.Error msg ->
+      Printf.eprintf "%s: error: %s\n" path msg;
+      exit 1
+  | exception Reader.Error msg ->
+      Printf.eprintf "%s: read error: %s\n" path msg;
+      exit 1
+  | exception Compile.Error msg ->
+      Printf.eprintf "%s: compile error: %s\n" path msg;
+      exit 1
+
+let () =
+  let m = Scheme.create () in
+  Machine.set_echo m true;
+  let args = List.tl (Array.to_list Sys.argv) in
+  let gc_stats = List.mem "--gc-stats" args in
+  let args = List.filter (fun a -> a <> "--gc-stats") args in
+  (match args with
+  | [] -> repl m
+  | [ "-e"; expr ] -> (
+      match Machine.eval_string m expr with
+      | v -> print_endline (Printer.to_string (Machine.heap m) v)
+      | exception Machine.Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+  | files when not (List.exists (fun a -> String.length a > 0 && a.[0] = '-') files) ->
+      List.iter (run_file m) files
+  | _ ->
+      prerr_endline usage;
+      exit 2);
+  if gc_stats then print_stats m

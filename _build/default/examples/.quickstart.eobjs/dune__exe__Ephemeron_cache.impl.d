@@ -1,0 +1,1 @@
+examples/ephemeron_cache.ml: Array Collector Gbc Gbc_runtime Handle Heap Obj Printf Weak_eq_table Will_executor Word

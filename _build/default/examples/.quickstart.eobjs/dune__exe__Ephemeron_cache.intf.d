@@ -1,0 +1,1 @@
+examples/ephemeron_cache.mli:

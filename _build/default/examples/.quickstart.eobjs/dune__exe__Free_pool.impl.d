@@ -1,0 +1,1 @@
+examples/free_pool.ml: Collector Free_pool Gbc Gbc_runtime Handle Heap List Obj Printf Word

@@ -1,0 +1,1 @@
+examples/free_pool.mli:

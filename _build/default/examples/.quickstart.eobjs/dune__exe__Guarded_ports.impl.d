@@ -1,0 +1,1 @@
+examples/guarded_ports.ml: Config Ctx Fun Gbc Gbc_runtime Gbc_vfs Guarded_port List Obj Port Printf Runtime Vfs Word

@@ -1,0 +1,1 @@
+examples/guarded_ports.mli:

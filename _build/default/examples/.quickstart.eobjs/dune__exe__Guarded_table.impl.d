@@ -1,0 +1,1 @@
+examples/guarded_table.ml: Array Collector Gbc Gbc_runtime Guarded_table Handle Heap Obj Printf Word

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Collector Gbc Guardian Handle Heap Obj Printf Stats Weak_pair Word

@@ -1,0 +1,1 @@
+examples/scheme_session.ml: Gbc_scheme List Machine Printer Printf Reader Scheme Sexpr

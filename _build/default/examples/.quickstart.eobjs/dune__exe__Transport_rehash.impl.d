@@ -1,0 +1,1 @@
+examples/transport_rehash.ml: Array Collector Eq_table Fun Gbc Gbc_runtime Handle Heap Obj Option Printf Word

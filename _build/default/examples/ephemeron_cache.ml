@@ -1,0 +1,74 @@
+(* A property cache that cannot leak: ephemeron-keyed values that mention
+   their own keys, plus a will executor logging evictions.
+
+   The classic failure: caching derived data about an object in a weak
+   table, where the derived data contains a back-reference to the object.
+   With weak pairs the back-reference keeps the key alive forever; with
+   ephemerons the entry collapses as soon as the object dies.
+
+   Run with: dune exec examples/ephemeron_cache.exe *)
+
+open Gbc
+open Gbc_runtime
+
+let () =
+  let h = Heap.create () in
+  let cache = Weak_eq_table.create h ~size:64 in
+  let wills = Will_executor.create h in
+  let evictions = ref 0 in
+
+  (* A "document": pair of (id . body-string).  Its cached "summary" is a
+     vector mentioning the document itself — the dangerous back-reference. *)
+  let summarize doc =
+    let v = Obj.make_vector h ~len:3 ~init:Word.nil in
+    Obj.vector_set h v 0 (Obj.string_of_ocaml h "summary");
+    Obj.vector_set h v 1 doc;
+    (* back-reference! *)
+    Obj.vector_set h v 2 (Word.of_fixnum (Obj.string_length h (Obj.cdr h doc)));
+    v
+  in
+
+  let with_summary doc =
+    match Weak_eq_table.lookup cache doc with
+    | Some s -> (s, `Hit)
+    | None ->
+        let s = summarize doc in
+        Heap.with_cell h s (fun c ->
+            Weak_eq_table.set cache doc (Heap.read_cell h c);
+            Will_executor.register wills doc ~will:(fun _ _ -> incr evictions);
+            (Heap.read_cell h c, `Miss))
+  in
+
+  (* Working set of 8 live documents, 1000 total processed. *)
+  let live = Array.make 8 None in
+  let hits = ref 0 and misses = ref 0 in
+  for i = 0 to 999 do
+    let doc =
+      Obj.cons h (Word.of_fixnum i)
+        (Obj.string_of_ocaml h (Printf.sprintf "body of document %d ..." i))
+    in
+    let doc = Handle.create h doc in
+    (match live.(i mod 8) with Some old -> Handle.free old | None -> ());
+    live.(i mod 8) <- Some doc;
+    (* Touch the current document twice: second access must hit. *)
+    (match with_summary (Handle.get doc) with _, `Hit -> incr hits | _, `Miss -> incr misses);
+    (match with_summary (Handle.get doc) with _, `Hit -> incr hits | _, `Miss -> incr misses);
+    if i mod 50 = 49 then begin
+      ignore (Collector.collect h ~gen:(Heap.max_generation h));
+      ignore (Will_executor.execute_all wills)
+    end
+  done;
+  ignore (Collector.collect h ~gen:(Heap.max_generation h));
+  ignore (Will_executor.execute_all wills);
+
+  Weak_eq_table.prune_all cache;
+
+  Printf.printf "documents processed:   1000\n";
+  Printf.printf "cache hits/misses:     %d/%d\n" !hits !misses;
+  Printf.printf "evictions logged:      %d (by wills, as documents died)\n" !evictions;
+  Printf.printf "cache entries left:    %d (live working set is 8)\n"
+    (Weak_eq_table.count cache);
+  Printf.printf "heap live words:       %d (bounded despite 1000 back-referencing summaries)\n"
+    (Heap.live_words h);
+  assert (Weak_eq_table.count cache <= 8);
+  assert (!evictions > 900)

@@ -1,0 +1,48 @@
+(* Free-list recycling (paper §1): large fixed-structure objects — think
+   bitmaps backing graphical displays — are expensive to build, so reuse
+   freed ones instead of rebuilding.
+
+   Run with: dune exec examples/free_pool.exe *)
+
+open Gbc
+open Gbc_runtime
+
+let bitmap_words = 512
+
+(* "Expensive" initialization we would rather not repeat. *)
+let build_count = ref 0
+
+let build h =
+  incr build_count;
+  let v = Obj.make_vector h ~len:bitmap_words ~init:(Word.of_fixnum 0) in
+  for i = 0 to bitmap_words - 1 do
+    Obj.vector_set h v i (Word.of_fixnum (i * 31))
+  done;
+  v
+
+let () =
+  let h = Heap.create () in
+  let pool = Free_pool.create ~capacity:8 h ~build in
+  (* 500 frames, each using up to 4 bitmaps and dropping them. *)
+  let in_use = ref [] in
+  for frame = 0 to 499 do
+    let bm = Handle.create h (Free_pool.acquire pool) in
+    in_use := bm :: !in_use;
+    if List.length !in_use > 4 then begin
+      match List.rev !in_use with
+      | oldest :: rest ->
+          Handle.free oldest;
+          in_use := List.rev rest
+      | [] -> ()
+    end;
+    if frame mod 10 = 9 then ignore (Collector.collect h ~gen:(Heap.max_generation h))
+  done;
+  Printf.printf "frames rendered:        500\n";
+  Printf.printf "bitmaps built:          %d\n" (Free_pool.built pool);
+  Printf.printf "bitmaps recycled:       %d\n" (Free_pool.recycled pool);
+  Printf.printf "discarded (over cap):   %d\n" (Free_pool.discarded pool);
+  Printf.printf
+    "initializations avoided: %d of 500 (%d%%)\n"
+    (Free_pool.recycled pool)
+    (Free_pool.recycled pool * 100 / 500);
+  assert (!build_count = Free_pool.built pool)

@@ -1,0 +1,65 @@
+(* Guarded ports: the paper's motivating example, measured.
+
+   A workload opens a port per record, writes a little, and — because of
+   "exceptions and nonlocal exits" — sometimes forgets to close it.  With a
+   descriptor limit of 16, the unguarded run dies of descriptor exhaustion
+   and loses buffered output; the guarded run recovers both.
+
+   Run with: dune exec examples/guarded_ports.exe *)
+
+open Gbc
+open Gbc_runtime
+
+let records = 200
+
+let workload ctx ~open_port =
+  let h = Ctx.heap ctx in
+  let completed = ref 0 in
+  (try
+     for i = 0 to records - 1 do
+       let p = open_port (Printf.sprintf "record-%d.txt" i) in
+       Port.write_string ctx p (Printf.sprintf "record %d payload" i);
+       (* Half the records hit an early exit before the close. *)
+       if i mod 2 = 0 then begin
+         Port.close ctx p
+       end;
+       incr completed;
+       (* Allocation churn; safepoints let collections happen. *)
+       for j = 0 to 500 do
+         ignore (Obj.cons h (Word.of_fixnum j) Word.nil)
+       done;
+       Runtime.safepoint h
+     done
+   with Gbc_vfs.Vfs.Descriptor_exhausted ->
+     Printf.printf "  !! descriptor exhausted after %d records\n" !completed);
+  !completed
+
+let () =
+  let config = Config.v ~gen0_trigger_words:4096 () in
+
+  print_endline "--- without guardians ---";
+  let ctx = Ctx.create ~config ~fd_limit:16 () in
+  let done_ = workload ctx ~open_port:(fun name -> Port.open_output ctx name) in
+  Printf.printf "  records completed: %d/%d\n" done_ records;
+  Printf.printf "  descriptors leaked: %d\n" (Vfs.leaked (Ctx.vfs ctx));
+
+  print_endline "--- with the port guardian ---";
+  let ctx = Ctx.create ~config ~fd_limit:16 () in
+  let gp = Guarded_port.create ctx in
+  (* The paper's idiom: close dropped ports after every collection. *)
+  Guarded_port.install_collect_handler gp;
+  let done_ = workload ctx ~open_port:(fun name -> Guarded_port.open_output gp name) in
+  Guarded_port.exit gp;
+  Printf.printf "  records completed: %d/%d\n" done_ records;
+  Printf.printf "  descriptors leaked: %d\n" (Vfs.leaked (Ctx.vfs ctx));
+  Printf.printf "  ports closed by the guardian: %d\n" (Guarded_port.closed_by_guardian gp);
+  Printf.printf "  buffered bytes rescued at close: %d\n" (Guarded_port.flushed_bytes gp);
+  (* Every record's payload reached its file. *)
+  let all_present =
+    List.for_all
+      (fun i ->
+        Vfs.read_file (Ctx.vfs ctx) (Printf.sprintf "record-%d.txt" i)
+        = Printf.sprintf "record %d payload" i)
+      (List.init records Fun.id)
+  in
+  Printf.printf "  all %d payloads on disk: %b\n" records all_present

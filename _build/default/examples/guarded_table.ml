@@ -1,0 +1,40 @@
+(* Figure 1 in action: a symbol-table-like cache keyed by objects that come
+   and go.  The guarded table drops dead associations automatically and
+   pays only for the keys that actually died; the unguarded variant leaks.
+
+   Run with: dune exec examples/guarded_table.exe *)
+
+open Gbc
+open Gbc_runtime
+
+let key h i = Obj.cons h (Word.of_fixnum i) (Word.of_fixnum (i * i))
+let stable_hash h w = if Word.is_pair_ptr w then Word.to_fixnum (Obj.car h w) else 0
+
+let run ~guarded =
+  let h = Heap.create () in
+  let t = Guarded_table.create ~guarded h ~hash:stable_hash ~size:64 in
+  (* A sliding window of 64 live keys over 1024 inserts. *)
+  let window = Array.make 64 None in
+  for i = 0 to 1023 do
+    let k = Handle.create h (key h i) in
+    Guarded_table.set t (Handle.get k) (Word.of_fixnum i);
+    (match window.(i mod 64) with Some old -> Gbc_runtime.Handle.free old | None -> ());
+    window.(i mod 64) <- Some k;
+    if i mod 100 = 99 then ignore (Collector.collect h ~gen:(Heap.max_generation h))
+  done;
+  ignore (Collector.collect h ~gen:(Heap.max_generation h));
+  (* One more access expunges whatever died since the last one. *)
+  ignore (Guarded_table.lookup t (key h (-1)));
+  Printf.printf "  associations held:     %4d (live window is 64)\n" (Guarded_table.count t);
+  Printf.printf "  dead keys expunged:    %4d\n" (Guarded_table.expunged t);
+  Printf.printf "  stale entries left:    %4d\n" (Guarded_table.stale_count t);
+  Array.iter (function Some k -> Gbc_runtime.Handle.free k | None -> ()) window
+
+let () =
+  print_endline "--- guarded table (Figure 1) ---";
+  run ~guarded:true;
+  print_endline "--- same workload, guardian code removed ---";
+  run ~guarded:false;
+  print_endline
+    "(the unguarded table keeps every association ever inserted; the paper's\n\
+    \ shaded lines are what turn the scan-free weak table into a self-cleaning one)"

@@ -1,0 +1,1 @@
+lib/baselines/finalize.ml: Fun Gbc_runtime Heap List Word

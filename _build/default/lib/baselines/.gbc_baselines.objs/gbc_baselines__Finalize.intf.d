@@ -1,0 +1,1 @@
+lib/baselines/finalize.mli: Gbc_runtime Heap Word

@@ -1,0 +1,1 @@
+lib/baselines/indirect.ml: Gbc_runtime Handle Heap List Obj Weak_pair Word

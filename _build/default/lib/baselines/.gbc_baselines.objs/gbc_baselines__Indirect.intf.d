@@ -1,0 +1,1 @@
+lib/baselines/indirect.mli: Gbc_runtime Heap Word

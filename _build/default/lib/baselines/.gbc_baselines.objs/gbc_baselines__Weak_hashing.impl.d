@@ -1,0 +1,1 @@
+lib/baselines/weak_hashing.ml: Gbc_runtime Hashtbl Heap Word

@@ -1,0 +1,1 @@
+lib/baselines/weak_hashing.mli: Gbc_runtime Heap Word

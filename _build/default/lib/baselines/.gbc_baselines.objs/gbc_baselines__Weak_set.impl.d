@@ -1,0 +1,1 @@
+lib/baselines/weak_set.ml: Gbc_runtime Handle Heap Weak_pair Word

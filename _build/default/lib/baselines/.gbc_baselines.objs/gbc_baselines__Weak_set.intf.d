@@ -1,0 +1,1 @@
+lib/baselines/weak_set.mli: Gbc_runtime Heap Word

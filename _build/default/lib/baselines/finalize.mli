@@ -1,0 +1,24 @@
+(** [register-for-finalization] — Dickey's proposal (paper Section 2).
+
+    Thunks run automatically {e during} the collection that reclaims their
+    object, reproducing the restrictions the paper criticizes: no
+    allocation inside thunks ({!Gbc_runtime.Heap.Allocation_forbidden}),
+    errors suppressed, no control over timing, and a registry rescanned in
+    full at every collection. *)
+
+open Gbc_runtime
+
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+val register : t -> Word.t -> thunk:(unit -> unit) -> unit
+val registered_count : t -> int
+
+val scan_steps : t -> int
+(** Registry entries examined across all collections (work counter). *)
+
+val finalized : t -> int
+
+val errors : t -> exn list
+(** Exceptions raised by thunks, swallowed so other thunks still ran. *)

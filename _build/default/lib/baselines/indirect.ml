@@ -1,0 +1,86 @@
+(** Weak-pointer-plus-header indirection (paper Section 2, after Atkins).
+
+    Lacking guardians, clean-up data can be saved by one level of
+    indirection: the program holds a {e header} whose (strong) car points at
+    the data, while the registry holds a weak pointer to the header and a
+    separate strong pointer to the data.  When the header is dropped, the
+    weak pointer breaks, and the registry — once scanned — still has the
+    data for clean-up.
+
+    The costs the paper calls out, all measurable here:
+    - every access to the data pays an indirection ([accesses] counter; and
+      nothing stops a program from capturing the data pointer directly,
+      which silently defeats the mechanism);
+    - discovering breaks requires traversing the whole registry
+      ([scan_steps]), old generations included. *)
+
+open Gbc_runtime
+
+type reg = { data_cell : int; mutable done_ : bool }
+(* Each registration owns a weak pair (header . nil) in the heap, kept alive
+   through the [roots] list so that only its car — the header — is weak, and
+   a root cell holding the clean-up data strongly.  The registry list and
+   the heap list are prepended in lock-step, so they stay aligned. *)
+
+type t = {
+  heap : Heap.t;
+  mutable entries : reg list;
+  roots : Handle.t;  (** heap list of the registry's weak pairs *)
+  mutable scan_steps : int;
+  mutable accesses : int;
+  mutable cleaned : int;
+}
+
+let create heap =
+  { heap; entries = []; roots = Handle.create heap Word.nil; scan_steps = 0; accesses = 0; cleaned = 0 }
+
+let dispose t =
+  List.iter (fun r -> Heap.free_cell t.heap r.data_cell) t.entries;
+  Handle.free t.roots
+
+(** Wrap [data] in a forwarding header the program passes around instead of
+    the data itself. *)
+let wrap t data =
+  let h = t.heap in
+  let header = Obj.cons h data Word.nil in
+  let wp = Weak_pair.cons h header Word.nil in
+  (* Keep the weak pair itself (not the header!) alive via the registry. *)
+  Handle.set t.roots (Obj.cons h wp (Handle.get t.roots));
+  ignore wp;
+  let data_cell = Heap.new_cell h data in
+  t.entries <- { data_cell; done_ = false } :: t.entries;
+  header
+
+(** Dereference a header: the extra memory reference every consumer pays. *)
+let access t header =
+  t.accesses <- t.accesses + 1;
+  Obj.car t.heap header
+
+(** Traverse the registry, invoking [cleanup] with the data of every header
+    dropped since the last scan.  O(registry), however few died. *)
+let scan_for_dropped t ~cleanup =
+  let h = t.heap in
+  (* Walk the rooted list of weak pairs and the entry list in lock-step:
+     both were prepended in the same order. *)
+  let rec loop l entries =
+    if not (Word.is_nil l) then begin
+      match entries with
+      | [] -> ()
+      | r :: rest ->
+          t.scan_steps <- t.scan_steps + 1;
+          let wp = Obj.car h l in
+          if (not r.done_) && Word.is_false (Weak_pair.car h wp) then begin
+            r.done_ <- true;
+            t.cleaned <- t.cleaned + 1;
+            let data = Heap.read_cell h r.data_cell in
+            Heap.free_cell h r.data_cell;
+            cleanup data
+          end;
+          loop (Obj.cdr h l) rest
+    end
+  in
+  loop (Handle.get t.roots) t.entries
+
+let scan_steps t = t.scan_steps
+let accesses t = t.accesses
+let cleaned t = t.cleaned

@@ -1,0 +1,27 @@
+(** Weak-pointer-plus-header indirection (paper Section 2, after Atkins).
+
+    Clean-up data is saved behind a forwarding header the program passes
+    around; the registry watches the header weakly and keeps the data
+    strongly.  Costs reproduced: an indirection on every access, and an
+    O(registry) traversal to discover breaks. *)
+
+open Gbc_runtime
+
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+
+val wrap : t -> Word.t -> Word.t
+(** Wrap data in a header; pass the header around instead of the data. *)
+
+val access : t -> Word.t -> Word.t
+(** Dereference a header (counted). *)
+
+val scan_for_dropped : t -> cleanup:(Word.t -> unit) -> unit
+(** Invoke [cleanup] with the data of every header dropped since the last
+    scan.  O(registry). *)
+
+val scan_steps : t -> int
+val accesses : t -> int
+val cleaned : t -> int

@@ -1,0 +1,21 @@
+(** Weak hashing — MIT Scheme / T's [hash]/[unhash] (paper Section 2).
+
+    [hash] maps an object to an integer unique to it; [unhash] maps the
+    integer back, or reports reclamation.  The integer acts as a weak
+    pointer the program can store anywhere. *)
+
+open Gbc_runtime
+
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+
+val hash : t -> Word.t -> int
+(** Unique and stable for the object's lifetime; never reused for a
+    different object. *)
+
+val unhash : t -> int -> Word.t option
+(** [None] once the object has been reclaimed. *)
+
+val live_count : t -> int

@@ -1,0 +1,85 @@
+(** Weak sets — the T language's "populations" (paper Section 2).
+
+    A weak set holds its members through weak pointers: members otherwise
+    unreachable are dropped automatically.  The catch the paper identifies:
+    to learn {e which} members disappeared (or to enumerate the survivors)
+    "the entire list must be traversed to find the pointers that have been
+    broken, even if none or only a few of the elements have been dropped" —
+    and in a generational system the list cells may sit in old generations.
+    The [scan_steps] counter exposes that cost for experiment E1/E2. *)
+
+open Gbc_runtime
+
+type t = {
+  heap : Heap.t;
+  members : Handle.t;  (** heap list of weak pairs, one per member *)
+  mutable count : int;
+  mutable scan_steps : int;  (** weak pairs examined by traversals *)
+  mutable dropped : int;  (** broken members discovered so far *)
+}
+
+let create heap =
+  { heap; members = Handle.create heap Word.nil; count = 0; scan_steps = 0; dropped = 0 }
+
+let dispose t = Handle.free t.members
+
+(** Add [obj] to the set (weakly). *)
+let add t obj =
+  let h = t.heap in
+  Handle.set t.members (Weak_pair.cons h obj (Handle.get t.members));
+  t.count <- t.count + 1
+
+(** Remove [obj] (eq comparison).  Full traversal. *)
+let remove t obj =
+  let h = t.heap in
+  let rec loop l =
+    t.scan_steps <- t.scan_steps + 1;
+    if Word.is_nil l then Word.nil
+    else if Word.equal (Weak_pair.car h l) obj then begin
+      t.count <- t.count - 1;
+      Weak_pair.cdr h l
+    end
+    else begin
+      let rest = loop (Weak_pair.cdr h l) in
+      Weak_pair.set_cdr h l rest;
+      l
+    end
+  in
+  Handle.set t.members (loop (Handle.get t.members))
+
+(** Surviving members, pruning broken pointers along the way.  This is the
+    O(set size) traversal the guardian mechanism avoids. *)
+let members t =
+  let h = t.heap in
+  let alive = ref [] in
+  let rec loop l =
+    t.scan_steps <- t.scan_steps + 1;
+    if Word.is_nil l then Word.nil
+    else begin
+      let x = Weak_pair.car h l in
+      let rest = loop (Weak_pair.cdr h l) in
+      if Word.is_false x then begin
+        t.dropped <- t.dropped + 1;
+        t.count <- t.count - 1;
+        rest
+      end
+      else begin
+        alive := x :: !alive;
+        Weak_pair.set_cdr h l rest;
+        l
+      end
+    end
+  in
+  Handle.set t.members (loop (Handle.get t.members));
+  !alive
+
+(** Prune broken pointers and report how many members disappeared since the
+    last scan.  Cost: O(set size), regardless of how many died. *)
+let scan_for_dropped t =
+  let before = t.dropped in
+  ignore (members t);
+  t.dropped - before
+
+let count t = t.count
+let scan_steps t = t.scan_steps
+let dropped t = t.dropped

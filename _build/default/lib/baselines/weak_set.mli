@@ -1,0 +1,30 @@
+(** Weak sets — the T language's "populations" (paper Section 2).
+
+    Members are held through weak pointers and disappear automatically, but
+    discovering {e which} disappeared requires traversing the whole set —
+    the inefficiency guardians eliminate (experiments E1/E2). *)
+
+open Gbc_runtime
+
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+val add : t -> Word.t -> unit
+
+val remove : t -> Word.t -> unit
+(** Eq comparison; full traversal. *)
+
+val members : t -> Word.t list
+(** Survivors; prunes broken pointers along the way.  O(set size). *)
+
+val scan_for_dropped : t -> int
+(** Prune and report members that disappeared since the last scan.
+    O(set size) regardless of deaths. *)
+
+val count : t -> int
+
+val scan_steps : t -> int
+(** Weak pairs examined by traversals so far (the work counter). *)
+
+val dropped : t -> int

@@ -1,0 +1,1 @@
+lib/core/gbc.ml: Ctx Eq_table Free_pool Gbc_runtime Gbc_vfs Guarded_port Guarded_table Port Transport_guardian Weak_eq_table Will_executor

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Gbc_runtime Gbc_vfs Heap

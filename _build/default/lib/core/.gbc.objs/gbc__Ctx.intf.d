@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Config Gbc_runtime Gbc_vfs Heap

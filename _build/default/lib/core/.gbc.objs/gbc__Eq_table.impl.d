@@ -1,0 +1,1 @@
+lib/core/eq_table.ml: Gbc_runtime Handle Heap List Obj Option Transport_guardian Word

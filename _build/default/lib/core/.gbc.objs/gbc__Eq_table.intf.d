@@ -1,0 +1,1 @@
+lib/core/eq_table.mli: Gbc_runtime Heap Word

@@ -1,0 +1,1 @@
+lib/core/free_pool.ml: Gbc_runtime Guardian Handle Heap Obj Word

@@ -1,0 +1,1 @@
+lib/core/free_pool.mli: Gbc_runtime Heap Word

@@ -1,0 +1,1 @@
+lib/core/guarded_port.ml: Ctx Gbc_runtime Guardian Handle Port Runtime

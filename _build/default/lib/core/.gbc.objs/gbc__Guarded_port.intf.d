@@ -1,0 +1,1 @@
+lib/core/guarded_port.mli: Ctx Gbc_runtime

@@ -1,0 +1,1 @@
+lib/core/guarded_table.ml: Gbc_runtime Guardian Handle Heap Obj Weak_pair Word

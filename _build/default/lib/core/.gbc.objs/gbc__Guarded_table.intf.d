@@ -1,0 +1,1 @@
+lib/core/guarded_table.mli: Gbc_runtime Heap Word

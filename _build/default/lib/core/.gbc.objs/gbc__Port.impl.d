@@ -1,0 +1,1 @@
+lib/core/port.ml: Ctx Gbc_runtime Gbc_vfs Obj String Word

@@ -1,0 +1,1 @@
+lib/core/port.mli: Ctx Gbc_runtime Heap Word

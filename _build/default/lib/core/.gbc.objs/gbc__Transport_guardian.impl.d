@@ -1,0 +1,1 @@
+lib/core/transport_guardian.ml: Gbc_runtime Guardian Handle Heap Weak_pair Word

@@ -1,0 +1,1 @@
+lib/core/transport_guardian.mli: Gbc_runtime Heap Word

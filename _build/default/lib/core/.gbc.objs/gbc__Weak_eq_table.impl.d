@@ -1,0 +1,1 @@
+lib/core/weak_eq_table.ml: Ephemeron Gbc_runtime Handle Heap List Obj Option Word

@@ -1,0 +1,1 @@
+lib/core/weak_eq_table.mli: Gbc_runtime Heap Word

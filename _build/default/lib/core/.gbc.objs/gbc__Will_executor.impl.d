@@ -1,0 +1,1 @@
+lib/core/will_executor.ml: Gbc_runtime Guardian Handle Hashtbl Heap Obj Weak_eq_table Word

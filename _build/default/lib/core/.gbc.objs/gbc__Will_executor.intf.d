@@ -1,0 +1,1 @@
+lib/core/will_executor.mli: Gbc_runtime Heap Word

@@ -1,0 +1,15 @@
+(** Execution context: a simulated heap plus the virtual filesystem ports
+    are backed by. *)
+
+open Gbc_runtime
+
+type t = {
+  heap : Heap.t;
+  vfs : Gbc_vfs.Vfs.t;
+}
+
+let create ?config ?(fd_limit = 64) () =
+  { heap = Heap.create ?config (); vfs = Gbc_vfs.Vfs.create ~fd_limit () }
+
+let heap t = t.heap
+let vfs t = t.vfs

@@ -1,0 +1,13 @@
+(** Execution context: a simulated heap plus the virtual filesystem ports
+    are backed by. *)
+
+open Gbc_runtime
+
+type t = {
+  heap : Heap.t;
+  vfs : Gbc_vfs.Vfs.t;
+}
+
+val create : ?config:Config.t -> ?fd_limit:int -> unit -> t
+val heap : t -> Heap.t
+val vfs : t -> Gbc_vfs.Vfs.t

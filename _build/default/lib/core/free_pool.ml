@@ -1,0 +1,83 @@
+(** Free-list recycling of expensive objects (paper Section 1).
+
+    "Sometimes it is useful to maintain an internal free list of objects
+    that are expensive to allocate or initialize" — e.g. large bitmaps whose
+    contents are fixed once initialized.  A pool hands out objects and
+    registers each with a guardian; when the program drops one, the
+    collector proves it inaccessible and the guardian returns it, and the
+    pool recycles it instead of building a new one.  Registration is
+    consumed by retrieval, so recycled objects are simply re-registered on
+    the next acquire. *)
+
+open Gbc_runtime
+
+type t = {
+  heap : Heap.t;
+  guardian : Handle.t;
+  free : Handle.t;  (** heap list of recycled objects, ready for reuse *)
+  capacity : int;
+  build : Heap.t -> Word.t;
+  reinit : (Heap.t -> Word.t -> unit) option;
+  mutable built : int;  (** objects constructed from scratch *)
+  mutable recycled : int;  (** acquisitions served from the free list *)
+  mutable discarded : int;  (** reclaimed objects beyond capacity *)
+}
+
+let create ?(capacity = max_int) ?reinit heap ~build =
+  {
+    heap;
+    guardian = Handle.create heap (Guardian.make heap);
+    free = Handle.create heap Word.nil;
+    capacity;
+    build;
+    reinit;
+    built = 0;
+    recycled = 0;
+    discarded = 0;
+  }
+
+let dispose t =
+  Handle.free t.guardian;
+  Handle.free t.free
+
+let free_length t = Obj.list_length t.heap (Handle.get t.free)
+
+(** Move objects the collector has proven inaccessible onto the free list,
+    up to capacity; the rest are left to be reclaimed for real. *)
+let drain t =
+  let h = t.heap in
+  let rec loop () =
+    match Guardian.retrieve h (Handle.get t.guardian) with
+    | None -> ()
+    | Some obj ->
+        if free_length t < t.capacity then
+          Handle.set t.free (Obj.cons h obj (Handle.get t.free))
+        else t.discarded <- t.discarded + 1;
+        loop ()
+  in
+  loop ()
+
+(** Get an object: recycled if one is available, freshly built otherwise.
+    The object is registered with the pool's guardian, so dropping it
+    returns it to the pool at the next drain. *)
+let acquire t =
+  let h = t.heap in
+  drain t;
+  let obj =
+    match Handle.get t.free with
+    | l when Word.is_nil l ->
+        t.built <- t.built + 1;
+        t.build h
+    | l ->
+        let obj = Obj.car h l in
+        Handle.set t.free (Obj.cdr h l);
+        t.recycled <- t.recycled + 1;
+        (match t.reinit with Some f -> f h obj | None -> ());
+        obj
+  in
+  Guardian.register h (Handle.get t.guardian) obj;
+  obj
+
+let built t = t.built
+let recycled t = t.recycled
+let discarded t = t.discarded

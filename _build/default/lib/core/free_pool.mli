@@ -1,0 +1,30 @@
+(** Free-list recycling of expensive objects via guardians (paper §1).
+
+    A pool hands out objects and registers each with a guardian; when the
+    program drops one, the collector proves it inaccessible, the guardian
+    returns it, and the pool recycles it instead of building a new one. *)
+
+open Gbc_runtime
+
+type t
+
+val create :
+  ?capacity:int -> ?reinit:(Heap.t -> Word.t -> unit) -> Heap.t ->
+  build:(Heap.t -> Word.t) -> t
+(** [capacity] bounds the free list (reclaimed objects beyond it are left
+    to die); [reinit] scrubs recycled objects before reuse. *)
+
+val dispose : t -> unit
+
+val acquire : t -> Word.t
+(** Recycled if available, freshly built otherwise; always registered, so
+    dropping it returns it to the pool at the next {!drain}/{!acquire}. *)
+
+val drain : t -> unit
+(** Move reclaimed objects onto the free list (also done by every
+    acquire). *)
+
+val free_length : t -> int
+val built : t -> int
+val recycled : t -> int
+val discarded : t -> int

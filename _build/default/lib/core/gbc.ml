@@ -1,0 +1,44 @@
+(** Public façade of the guardians library.
+
+    The runtime substrate (heap, collector, guardians, weak pairs) is
+    re-exported alongside the applications built on the mechanism.  A
+    typical session:
+
+    {[
+      open Gbc
+      let h = Heap.create ()
+      let g = Guardian.make h
+      let gc = Handle.create h g
+      (* ... register objects, drop them ... *)
+      let _ = Collector.collect h ~gen:0
+      let saved = Guardian.retrieve h (Handle.get gc)
+    ]} *)
+
+module Word = Gbc_runtime.Word
+module Space = Gbc_runtime.Space
+module Config = Gbc_runtime.Config
+module Stats = Gbc_runtime.Stats
+module Heap = Gbc_runtime.Heap
+module Obj = Gbc_runtime.Obj
+module Tconc = Gbc_runtime.Tconc
+module Collector = Gbc_runtime.Collector
+module Guardian = Gbc_runtime.Guardian
+module Weak_pair = Gbc_runtime.Weak_pair
+module Ephemeron = Gbc_runtime.Ephemeron
+module Verify = Gbc_runtime.Verify
+module Trace = Gbc_runtime.Trace
+module Census = Gbc_runtime.Census
+module Runtime = Gbc_runtime.Runtime
+module Handle = Gbc_runtime.Handle
+module Symtab = Gbc_runtime.Symtab
+
+module Vfs = Gbc_vfs.Vfs
+module Ctx = Ctx
+module Port = Port
+module Guarded_port = Guarded_port
+module Guarded_table = Guarded_table
+module Eq_table = Eq_table
+module Transport_guardian = Transport_guardian
+module Free_pool = Free_pool
+module Weak_eq_table = Weak_eq_table
+module Will_executor = Will_executor

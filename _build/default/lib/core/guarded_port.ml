@@ -1,0 +1,73 @@
+(** Guarded ports: the paper's Section 3 example, transliterated.
+
+    A dedicated port guardian watches every port opened through the guarded
+    open operations; {!close_dropped_ports} retrieves ports proven
+    inaccessible and closes them, flushing unwritten output first.  Dropped
+    ports are closed whenever a guarded open is performed or on
+    {!exit} — or after every collection once {!install_collect_handler} is
+    used, mirroring the paper's [collect-request-handler] idiom. *)
+
+open Gbc_runtime
+
+type t = {
+  ctx : Ctx.t;
+  guardian : Handle.t;
+  mutable closed_by_guardian : int;
+  mutable flushed_bytes : int;
+}
+
+let create (ctx : Ctx.t) =
+  { ctx; guardian = Handle.create ctx.heap (Guardian.make ctx.heap);
+    closed_by_guardian = 0; flushed_bytes = 0 }
+
+let dispose t = Handle.free t.guardian
+
+(** Close every port proven inaccessible since the last call: flush and
+    close output ports, close input ports (paper's
+    [close-dropped-ports]). *)
+let rec close_dropped_ports t =
+  let h = t.ctx.Ctx.heap in
+  match Guardian.retrieve h (Handle.get t.guardian) with
+  | None -> ()
+  | Some p ->
+      if not (Port.is_closed h p) then begin
+        t.flushed_bytes <- t.flushed_bytes + Port.buffered h p;
+        Port.close t.ctx p;
+        t.closed_by_guardian <- t.closed_by_guardian + 1
+      end;
+      close_dropped_ports t
+
+let guard t p =
+  let h = t.ctx.Ctx.heap in
+  Guardian.register h (Handle.get t.guardian) p
+
+(** [guarded-open-input-file]: close dropped ports, then open and guard. *)
+let open_input t file_name =
+  close_dropped_ports t;
+  let p = Port.open_input t.ctx file_name in
+  guard t p;
+  p
+
+(** [guarded-open-output-file]. *)
+let open_output t file_name =
+  close_dropped_ports t;
+  let p = Port.open_output t.ctx file_name in
+  guard t p;
+  p
+
+(** [guarded-exit]: final clean-up before leaving the system. *)
+let exit t = close_dropped_ports t
+
+(** Install a collect-request handler that collects and then closes dropped
+    ports — the paper's
+
+    {v (collect-request-handler (lambda () (collect) (close-dropped-ports))) v} *)
+let install_collect_handler t =
+  Runtime.set_collect_request_handler t.ctx.Ctx.heap
+    (Some
+       (fun h ->
+         ignore (Runtime.collect_auto h);
+         close_dropped_ports t))
+
+let closed_by_guardian t = t.closed_by_guardian
+let flushed_bytes t = t.flushed_bytes

@@ -1,0 +1,171 @@
+(** Guarded hash tables: the paper's Figure 1.
+
+    A hash table whose key/value associations are dropped automatically once
+    a key becomes inaccessible outside the table.  Buckets hold {e weak}
+    pairs [(key . value)], so the table does not keep keys alive; each
+    inserted key is also registered with the table's guardian, and every
+    access first drains the guardian, removing the associations of keys the
+    collector has proven inaccessible.  The mutator therefore pays O(dead
+    keys) — never a scan of the whole table — which is experiment E2.
+
+    The caller supplies the hash function (paper's [make-guarded-hash-table
+    hash size]); it must be stable across collections (hash the key's
+    {e contents}, or use fixnum/symbol keys).  For address-based eq hashing
+    with its rehashing problem, see {!Eq_table}. *)
+
+open Gbc_runtime
+
+type t = {
+  heap : Heap.t;
+  buckets : Handle.t;  (** heap vector of association lists *)
+  size : int;
+  guardian : Handle.t;
+  hash : Heap.t -> Word.t -> int;
+  mutable count : int;
+  mutable expunged : int;  (** dead associations removed so far *)
+  mutable expunge_steps : int;  (** list cells traversed while removing *)
+  guarded : bool;
+}
+
+let create ?(guarded = true) heap ~hash ~size =
+  if size <= 0 then invalid_arg "Guarded_table.create: size";
+  {
+    heap;
+    buckets = Handle.create heap (Obj.make_vector heap ~len:size ~init:Word.nil);
+    size;
+    guardian = Handle.create heap (Guardian.make heap);
+    hash;
+    count = 0;
+    expunged = 0;
+    expunge_steps = 0;
+    guarded;
+  }
+
+let dispose t =
+  Handle.free t.buckets;
+  Handle.free t.guardian
+
+let bucket_index t key =
+  let i = t.hash t.heap key mod t.size in
+  if i < 0 then i + t.size else i
+
+(* assq: first weak pair in [bucket] whose car is eq to [key]. *)
+let rec assq h key bucket =
+  if Word.is_nil bucket then None
+  else begin
+    let entry = Obj.car h bucket in
+    if Word.equal (Obj.car h entry) key then Some entry
+    else assq h key (Obj.cdr h bucket)
+  end
+
+(* remq: [bucket] without the association [entry] (eq comparison). *)
+let remq t h entry bucket =
+  let rec loop bucket =
+    t.expunge_steps <- t.expunge_steps + 1;
+    if Word.is_nil bucket then Word.nil
+    else begin
+      let e = Obj.car h bucket in
+      if Word.equal e entry then Obj.cdr h bucket
+      else Obj.cons h e (loop (Obj.cdr h bucket))
+    end
+  in
+  loop bucket
+
+(** Remove the associations of keys proven inaccessible (the shaded loop of
+    Figure 1).  Called automatically by every access. *)
+let expunge t =
+  let h = t.heap in
+  let rec loop () =
+    match Guardian.retrieve h (Handle.get t.guardian) with
+    | None -> ()
+    | Some z ->
+        let v = Handle.get t.buckets in
+        let i = bucket_index t z in
+        let bucket = Obj.vector_ref h v i in
+        (match assq h z bucket with
+        | Some entry ->
+            Obj.vector_set h v i (remq t h entry bucket);
+            t.count <- t.count - 1;
+            t.expunged <- t.expunged + 1
+        | None -> () (* key was re-inserted or already removed *));
+        loop ()
+  in
+  if t.guarded then loop ()
+
+(** Figure 1 semantics: return the value already associated with [key], or
+    associate [value] with it and return [value]. *)
+let access t key value =
+  expunge t;
+  let h = t.heap in
+  let v = Handle.get t.buckets in
+  let i = bucket_index t key in
+  let bucket = Obj.vector_ref h v i in
+  match assq h key bucket with
+  | Some entry -> Obj.cdr h entry
+  | None ->
+      let entry = Weak_pair.cons h key value in
+      Obj.vector_set h v i (Obj.cons h entry bucket);
+      if t.guarded then Guardian.register h (Handle.get t.guardian) key;
+      t.count <- t.count + 1;
+      value
+
+(** Look [key] up without inserting. *)
+let lookup t key =
+  expunge t;
+  let h = t.heap in
+  let bucket = Obj.vector_ref h (Handle.get t.buckets) (bucket_index t key) in
+  match assq h key bucket with
+  | Some entry -> Some (Obj.cdr h entry)
+  | None -> None
+
+(** Associate [key] with [value], replacing any existing association. *)
+let set t key value =
+  expunge t;
+  let h = t.heap in
+  let v = Handle.get t.buckets in
+  let i = bucket_index t key in
+  let bucket = Obj.vector_ref h v i in
+  match assq h key bucket with
+  | Some entry -> Weak_pair.set_cdr h entry value
+  | None ->
+      let entry = Weak_pair.cons h key value in
+      Obj.vector_set h v i (Obj.cons h entry bucket);
+      if t.guarded then Guardian.register h (Handle.get t.guardian) key;
+      t.count <- t.count + 1
+
+(** Remove [key]'s association, if any. *)
+let remove t key =
+  expunge t;
+  let h = t.heap in
+  let v = Handle.get t.buckets in
+  let i = bucket_index t key in
+  let bucket = Obj.vector_ref h v i in
+  match assq h key bucket with
+  | Some entry ->
+      Obj.vector_set h v i (remq t h entry bucket);
+      t.count <- t.count - 1
+  | None -> ()
+
+(** Associations currently in the table (live and not-yet-expunged dead). *)
+let count t = t.count
+
+let expunged t = t.expunged
+let expunge_steps t = t.expunge_steps
+
+(** Associations whose key has been collected but whose entry still sits in
+    a bucket — nonzero only between a collection and the next access. *)
+let stale_count t =
+  let h = t.heap in
+  let v = Handle.get t.buckets in
+  let stale = ref 0 in
+  for i = 0 to t.size - 1 do
+    let rec loop bucket =
+      if not (Word.is_nil bucket) then begin
+        let entry = Obj.car h bucket in
+        if Word.is_false (Obj.car h entry) then incr stale;
+        loop (Obj.cdr h bucket)
+      end
+    in
+    loop (Obj.vector_ref h v i)
+  done;
+  !stale

@@ -1,0 +1,47 @@
+(** Guarded hash tables: the paper's Figure 1.
+
+    A hash table whose key/value associations are dropped automatically once
+    a key becomes inaccessible outside the table.  Buckets hold weak pairs,
+    so the table does not retain keys; each inserted key is registered with
+    the table's guardian, and every access first drains the guardian,
+    removing the associations of keys proven inaccessible — cost
+    proportional to the keys that died, never a scan of the table.
+
+    The hash function must be stable across collections (hash key
+    {e contents}); for address-based eq hashing see {!Eq_table}. *)
+
+open Gbc_runtime
+
+type t
+
+val create :
+  ?guarded:bool -> Heap.t -> hash:(Heap.t -> Word.t -> int) -> size:int -> t
+(** [guarded:false] omits the guardian machinery (Figure 1 with the shaded
+    lines removed) — the leaking baseline of experiment E3. *)
+
+val dispose : t -> unit
+
+val access : t -> Word.t -> Word.t -> Word.t
+(** Figure 1 semantics: the value already associated with the key, or the
+    given value after inserting it. *)
+
+val lookup : t -> Word.t -> Word.t option
+val set : t -> Word.t -> Word.t -> unit
+val remove : t -> Word.t -> unit
+
+val expunge : t -> unit
+(** Remove the associations of keys proven inaccessible (done automatically
+    by every access). *)
+
+val count : t -> int
+(** Associations currently held (live + not-yet-expunged dead). *)
+
+val expunged : t -> int
+(** Dead associations removed so far. *)
+
+val expunge_steps : t -> int
+(** Bucket cells traversed while removing (the E2 work counter). *)
+
+val stale_count : t -> int
+(** Associations whose weak key broke but whose entry still sits in a
+    bucket — the unguarded variant's leak counter. *)

@@ -1,0 +1,55 @@
+(** Conservative transport guardians (paper Section 3).
+
+    A transport guardian returns an object when it {e may} have been moved
+    (transported) by the collector, rather than when it has become
+    inaccessible.  The implementation is the paper's: register a freshly
+    allocated weak-pair {e marker} holding the object, then drop the marker.
+    The marker is no older than the object, so it is returned by the
+    guardian after any collection the object could have been subject to;
+    the marker is then re-registered, ageing along with the object — the
+    generation-friendly behaviour.  Because the marker holds the object only
+    weakly, the transport guardian does not keep otherwise-dead objects
+    alive: a broken marker is silently discarded.
+
+    [payload] rides in the marker's (strong) cdr field; {!Eq_table} uses it
+    to carry each key's table entry. *)
+
+open Gbc_runtime
+
+type t = { heap : Heap.t; guardian : Handle.t }
+
+let create heap = { heap; guardian = Handle.create heap (Guardian.make heap) }
+
+let dispose t = Handle.free t.guardian
+
+(** Watch [obj] for transport.  [payload] (default [#f]) is returned
+    alongside the object by {!poll}. *)
+let register ?(payload = Word.false_) t obj =
+  let h = t.heap in
+  let marker = Weak_pair.cons h obj payload in
+  Guardian.register h (Handle.get t.guardian) marker
+(* The only reference to [marker] is now the registration: after any
+   collection that examines it, the guardian hands it back. *)
+
+(** Next object that may have moved since it was last seen, with its
+    payload; [None] when no more.  Dead objects' markers are dropped.
+    [keep] decides whether to keep watching the object (default yes): when
+    it answers [false] the marker is discarded and watching stops. *)
+let rec poll_choose t ~keep =
+  let h = t.heap in
+  match Guardian.retrieve h (Handle.get t.guardian) with
+  | None -> None
+  | Some marker ->
+      let obj = Weak_pair.car h marker in
+      if Word.is_false obj then poll_choose t ~keep (* object reclaimed *)
+      else begin
+        let payload = Weak_pair.cdr h marker in
+        if keep ~obj ~payload then begin
+          (* Re-register the same marker: it has aged with the object. *)
+          Guardian.register h (Handle.get t.guardian) marker;
+          Some (obj, payload)
+        end
+        else poll_choose t ~keep
+      end
+
+let poll t = poll_choose t ~keep:(fun ~obj:_ ~payload:_ -> true)

@@ -1,0 +1,26 @@
+(** Conservative transport guardians (paper Section 3).
+
+    Returns an object when it {e may} have been moved by the collector,
+    rather than when it has become inaccessible, by registering a fresh
+    weak-pair marker that ages along with the object.  Does not keep dead
+    objects alive. *)
+
+open Gbc_runtime
+
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+
+val register : ?payload:Word.t -> t -> Word.t -> unit
+(** Watch [obj]; [payload] (default [#f]) rides in the marker's strong cdr
+    and is handed back by {!poll}. *)
+
+val poll : t -> (Word.t * Word.t) option
+(** Next (object, payload) that may have moved since last seen; the marker
+    is re-registered so watching continues.  [None] when no more. *)
+
+val poll_choose :
+  t -> keep:(obj:Word.t -> payload:Word.t -> bool) -> (Word.t * Word.t) option
+(** Like {!poll}, but [keep] decides whether to keep watching; answering
+    [false] discards the marker and skips the report. *)

@@ -1,0 +1,132 @@
+(** Weak eq tables: address-hashed key→value maps whose entries are
+    ephemerons, so the table neither keeps its keys alive nor leaks when a
+    value references its own key (the weak-pair pitfall).
+
+    Rehashing uses the full-rehash-on-epoch-change strategy (see
+    {!Eq_table} for the transport-guardian alternative); entries whose key
+    died read as broken ephemerons and are pruned as buckets are walked. *)
+
+open Gbc_runtime
+
+type t = {
+  heap : Heap.t;
+  buckets : Handle.t;
+  size : int;
+  mutable epoch : int;
+  mutable count : int;  (** upper bound: broken entries are pruned lazily *)
+}
+
+let create heap ~size =
+  if size <= 0 then invalid_arg "Weak_eq_table.create: size";
+  {
+    heap;
+    buckets = Handle.create heap (Obj.make_vector heap ~len:size ~init:Word.nil);
+    size;
+    epoch = Heap.gc_epoch heap;
+    count = 0;
+  }
+
+let dispose t = Handle.free t.buckets
+
+let hash_of t key = Obj.eq_hash key mod t.size
+
+(* Remove broken entries from a bucket list, updating the count. *)
+let rec prune t bucket =
+  let h = t.heap in
+  if Word.is_nil bucket then Word.nil
+  else begin
+    let entry = Obj.car h bucket in
+    let rest = prune t (Obj.cdr h bucket) in
+    if Ephemeron.broken h entry then begin
+      t.count <- t.count - 1;
+      rest
+    end
+    else begin
+      Obj.set_cdr h bucket rest;
+      bucket
+    end
+  end
+
+let refresh t =
+  let h = t.heap in
+  if Heap.gc_epoch h <> t.epoch then begin
+    t.epoch <- Heap.gc_epoch h;
+    let v = Handle.get t.buckets in
+    let entries = ref [] in
+    for i = 0 to t.size - 1 do
+      let rec loop bucket =
+        if not (Word.is_nil bucket) then begin
+          let entry = Obj.car h bucket in
+          if Ephemeron.broken h entry then t.count <- t.count - 1
+          else entries := entry :: !entries;
+          loop (Obj.cdr h bucket)
+        end
+      in
+      loop (Obj.vector_ref h v i);
+      Obj.vector_set h v i Word.nil
+    done;
+    List.iter
+      (fun entry ->
+        let i = hash_of t (Ephemeron.key h entry) in
+        Obj.vector_set h v i (Obj.cons h entry (Obj.vector_ref h v i)))
+      !entries
+  end
+
+let find_entry t key =
+  let h = t.heap in
+  let v = Handle.get t.buckets in
+  let i = hash_of t key in
+  Obj.vector_set h v i (prune t (Obj.vector_ref h v i));
+  let rec loop bucket =
+    if Word.is_nil bucket then None
+    else begin
+      let entry = Obj.car h bucket in
+      if Word.equal (Ephemeron.key h entry) key then Some entry
+      else loop (Obj.cdr h bucket)
+    end
+  in
+  loop (Obj.vector_ref h v i)
+
+let lookup t key =
+  refresh t;
+  Option.map (fun e -> Ephemeron.value t.heap e) (find_entry t key)
+
+let set t key value =
+  refresh t;
+  let h = t.heap in
+  match find_entry t key with
+  | Some entry -> Ephemeron.set_value h entry value
+  | None ->
+      Heap.with_cell h key (fun kc ->
+          Heap.with_cell h value (fun vc ->
+              let entry =
+                Ephemeron.cons h (Heap.read_cell h kc) (Heap.read_cell h vc)
+              in
+              let v = Handle.get t.buckets in
+              let i = hash_of t (Heap.read_cell h kc) in
+              Obj.vector_set h v i (Obj.cons h entry (Obj.vector_ref h v i));
+              t.count <- t.count + 1))
+
+let remove t key =
+  refresh t;
+  let h = t.heap in
+  match find_entry t key with
+  | None -> ()
+  | Some entry ->
+      (* Mark broken by hand; the next prune drops the cell. *)
+      Ephemeron.set_key h entry Word.false_;
+      Ephemeron.set_value h entry Word.false_
+
+(** Drop every broken entry now (normally they are pruned lazily as
+    buckets are touched), making {!count} exact. *)
+let prune_all t =
+  refresh t;
+  let h = t.heap in
+  let v = Handle.get t.buckets in
+  for i = 0 to t.size - 1 do
+    Obj.vector_set h v i (prune t (Obj.vector_ref h v i))
+  done
+
+(** Upper bound on live associations (dead ones are pruned as buckets are
+    touched; {!prune_all} makes it exact). *)
+let count t = t.count

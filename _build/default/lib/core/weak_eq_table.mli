@@ -1,0 +1,19 @@
+(** Weak eq tables: address-hashed key→value maps with ephemeron entries —
+    keys are not kept alive, and a value referencing its own key does not
+    leak.  Rehashes on collection epochs; dead entries are pruned lazily. *)
+
+open Gbc_runtime
+
+type t
+
+val create : Heap.t -> size:int -> t
+val dispose : t -> unit
+val lookup : t -> Word.t -> Word.t option
+val set : t -> Word.t -> Word.t -> unit
+val remove : t -> Word.t -> unit
+
+val prune_all : t -> unit
+(** Drop every broken entry now, making {!count} exact. *)
+
+val count : t -> int
+(** Upper bound on live associations ({!prune_all} makes it exact). *)

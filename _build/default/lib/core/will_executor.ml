@@ -1,0 +1,91 @@
+(** Will executors: Racket's finalization interface, built on guardians.
+
+    A will executor associates an object with a {e will} procedure; once
+    the collector proves the object inaccessible, the will becomes ready,
+    and {!execute} runs one ready will — applying the procedure to the
+    saved object — under full program control.  This is exactly the
+    guardian discipline with the clean-up action attached at registration
+    time, demonstrating that guardians subsume will-style interfaces (the
+    paper's Section 5 discussion).
+
+    Implementation: a guardian yields the saved objects; an ephemeron-keyed
+    {!Weak_eq_table} maps each watched object to its wills without keeping
+    the object alive.  Multiple wills on one object run newest-first
+    (Racket's order), one per ready event. *)
+
+open Gbc_runtime
+
+type will = Heap.t -> Word.t -> unit
+
+type t = {
+  heap : Heap.t;
+  guardian : Handle.t;
+  ids : Weak_eq_table.t;  (** object -> heap list of will-id fixnums *)
+  wills : (int, will) Hashtbl.t;
+  mutable next_id : int;
+  mutable executed : int;
+}
+
+let create heap =
+  {
+    heap;
+    guardian = Handle.create heap (Guardian.make heap);
+    ids = Weak_eq_table.create heap ~size:64;
+    wills = Hashtbl.create 16;
+    next_id = 0;
+    executed = 0;
+  }
+
+let dispose t =
+  Handle.free t.guardian;
+  Weak_eq_table.dispose t.ids
+
+(** Attach [will] to [obj]: it will run, applied to the saved object, at
+    some {!execute} after the object is proven inaccessible. *)
+let register t obj ~will =
+  let h = t.heap in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.add t.wills id will;
+  Heap.with_cell h obj (fun c ->
+      let existing =
+        match Weak_eq_table.lookup t.ids (Heap.read_cell h c) with
+        | Some l -> l
+        | None -> Word.nil
+      in
+      let l = Obj.cons h (Word.of_fixnum id) existing in
+      Weak_eq_table.set t.ids (Heap.read_cell h c) l);
+  Guardian.register h (Handle.get t.guardian) obj
+
+(** Run one ready will, if any; returns whether one ran.  An object with N
+    wills is registered N times with the guardian, so it is retrieved once
+    per will; wills run newest first. *)
+let execute t =
+  let h = t.heap in
+  match Guardian.retrieve h (Handle.get t.guardian) with
+  | None -> false
+  | Some obj -> (
+      match Weak_eq_table.lookup t.ids obj with
+      | None -> false
+      | Some ids when Word.is_nil ids -> false
+      | Some ids ->
+          let id = Word.to_fixnum (Obj.car h ids) in
+          let rest = Obj.cdr h ids in
+          let will = Hashtbl.find t.wills id in
+          Hashtbl.remove t.wills id;
+          Heap.with_cell h obj (fun c ->
+              Weak_eq_table.set t.ids (Heap.read_cell h c) rest;
+              t.executed <- t.executed + 1;
+              will h (Heap.read_cell h c));
+          true)
+
+(** Run every ready will; returns how many ran. *)
+let execute_all t =
+  let n = ref 0 in
+  while execute t do
+    incr n
+  done;
+  !n
+
+let executed t = t.executed
+let pending_wills t = Hashtbl.length t.wills

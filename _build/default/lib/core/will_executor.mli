@@ -1,0 +1,28 @@
+(** Will executors: Racket's finalization interface, built on guardians —
+    demonstrating that guardians subsume will-style mechanisms (paper §5).
+
+    A will associates a clean-up procedure with an object at registration
+    time; it becomes ready once the object is proven inaccessible, and
+    {!execute} runs one ready will under full program control. *)
+
+open Gbc_runtime
+
+type will = Heap.t -> Word.t -> unit
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+
+val register : t -> Word.t -> will:will -> unit
+(** Multiple wills may be attached to one object; each runs exactly once,
+    newest first. *)
+
+val execute : t -> bool
+(** Run one ready will (applying it to the saved object); false when none
+    is ready.  Never blocks, never collects. *)
+
+val execute_all : t -> int
+
+val executed : t -> int
+val pending_wills : t -> int
+(** Wills registered but not yet run. *)

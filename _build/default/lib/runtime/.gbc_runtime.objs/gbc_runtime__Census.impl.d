@@ -1,0 +1,1 @@
+lib/runtime/census.ml: Array Format Hashtbl Heap List Obj Space Vec Word

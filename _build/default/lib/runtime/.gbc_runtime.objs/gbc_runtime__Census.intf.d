@@ -1,0 +1,1 @@
+lib/runtime/census.mli: Format Heap

@@ -1,0 +1,1 @@
+lib/runtime/collector.ml: Array Config Heap List Obj Space Stats Tconc Unix_time Vec Word

@@ -1,0 +1,1 @@
+lib/runtime/collector.mli: Heap Word

@@ -1,0 +1,1 @@
+lib/runtime/ephemeron.mli: Heap Word

@@ -1,0 +1,1 @@
+lib/runtime/guardian.ml: Heap Obj Tconc Word

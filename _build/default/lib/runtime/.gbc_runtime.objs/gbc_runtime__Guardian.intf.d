@@ -1,0 +1,1 @@
+lib/runtime/guardian.mli: Heap Word

@@ -1,0 +1,1 @@
+lib/runtime/handle.ml: Fun Heap List

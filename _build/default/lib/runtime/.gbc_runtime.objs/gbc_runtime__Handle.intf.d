@@ -1,0 +1,1 @@
+lib/runtime/handle.mli: Heap Word

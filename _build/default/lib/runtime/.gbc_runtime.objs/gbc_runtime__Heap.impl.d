@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Config Fun List Space Stats Vec Word

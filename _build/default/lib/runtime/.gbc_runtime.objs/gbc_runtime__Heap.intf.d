@@ -1,0 +1,1 @@
+lib/runtime/heap.mli: Config Space Stats Vec Word

@@ -1,0 +1,1 @@
+lib/runtime/obj.ml: Heap Int64 List Space String Word

@@ -1,0 +1,1 @@
+lib/runtime/obj.mli: Heap Word

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Collector Config Heap Stats

@@ -1,0 +1,1 @@
+lib/runtime/symtab.ml: Hashtbl Heap List Obj Word

@@ -1,0 +1,1 @@
+lib/runtime/symtab.mli: Heap Word

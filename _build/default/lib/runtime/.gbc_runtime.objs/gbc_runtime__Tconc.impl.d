@@ -1,0 +1,1 @@
+lib/runtime/tconc.ml: Array List Obj Word

@@ -1,0 +1,1 @@
+lib/runtime/tconc.mli: Heap Word

@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Array Format Heap List Stats

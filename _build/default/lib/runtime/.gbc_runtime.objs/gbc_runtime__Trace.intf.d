@@ -1,0 +1,1 @@
+lib/runtime/trace.mli: Format Heap

@@ -1,0 +1,1 @@
+lib/runtime/unix_time.ml: Unix

@@ -1,0 +1,1 @@
+lib/runtime/vec.ml: Array

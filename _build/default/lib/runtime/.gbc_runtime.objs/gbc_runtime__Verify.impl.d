@@ -1,0 +1,1 @@
+lib/runtime/verify.ml: Array Format Hashtbl Heap List Obj Printf Space String Vec Word

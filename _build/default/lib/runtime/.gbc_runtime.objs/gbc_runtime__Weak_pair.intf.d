@@ -1,0 +1,1 @@
+lib/runtime/weak_pair.mli: Heap Word

@@ -1,0 +1,1 @@
+lib/runtime/word.mli: Format

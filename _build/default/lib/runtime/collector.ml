@@ -1,0 +1,488 @@
+(** The generation-based stop-and-copy collector, with the paper's guardian
+    and weak-pair passes.
+
+    A collection of generation [g] collects generations [0..g] (younger
+    generations are always collected along with older ones) into the target
+    generation chosen by the promotion policy.  Phases:
+
+    + condemn the segments of generations [0..g];
+    + forward the roots (global cells + registered scanners) and sweep the
+      dirty segments of older generations (the remembered set);
+    + Cheney-sweep to-space to a fixpoint ([kleene-sweep] in the paper);
+    + the {b guardian pass} (paper Section 4): partition the protected
+      entries of the collected generations into [pend-hold-list]
+      (object still accessible) and [pend-final-list] (object proven
+      inaccessible), then repeatedly move entries whose tconc is accessible
+      from [pend-final-list] into their guardian's queue — forwarding, i.e.
+      {e saving}, the object — and re-sweep, until no progress: this handles
+      guardians registered with guardians; finally promote surviving
+      [pend-hold-list] entries to the target generation's protected list and
+      drop entries whose guardian itself died;
+    + the {b weak pass}: mend or break the car fields of weak pairs — after
+      the guardian pass, so a weak pointer to an object saved by a guardian
+      is {e not} broken;
+    + run registered weak scanners (support for baseline mechanisms);
+    + free the condemned segments.
+
+    The collector does no allocation except copies and the fresh tconc cells
+    it appends (which go straight to the target generation). *)
+
+open Heap
+
+type outcome = {
+  generation : int;  (** oldest generation collected *)
+  target : int;
+  duration_ns : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding                                                          *)
+
+(* A copied object's first word is overwritten with the forwarding marker
+   and its second word with the (tagged) new pointer word.  The smallest
+   object is a pair (two words), so the two slots always exist. *)
+
+let forwarded t w =
+  (not (Word.is_pointer w))
+  || (not (info_of_word t w).condemned)
+  || Word.equal (load t (Word.addr w)) Word.forward_marker
+
+(** Forwarding address of [w], or [w] itself if it was never copied (older
+    generation, immediate).  Only meaningful when [forwarded t w]. *)
+let forward_address t w =
+  if (not (Word.is_pointer w)) || not (info_of_word t w).condemned then w
+  else begin
+    assert (Word.equal (load t (Word.addr w)) Word.forward_marker);
+    load t (Word.addr w + 1)
+  end
+
+(** Copy [w] to the target generation if it is a pointer into from-space not
+    yet copied; returns the new word. *)
+let copy t ~target w =
+  if not (Word.is_pointer w) then w
+  else begin
+    let si = info_of_word t w in
+    if not si.condemned then w
+    else begin
+      let addr = Word.addr w in
+      let first = load t addr in
+      if Word.equal first Word.forward_marker then load t (addr + 1)
+      else begin
+        let stats = (Heap.stats t).last in
+        let new_word =
+          if Word.is_pair_ptr w then begin
+            let new_addr = gc_alloc t ~space:si.space ~generation:target 2 in
+            store t new_addr first;
+            store t (new_addr + 1) (load t (addr + 1));
+            stats.words_copied <- stats.words_copied + 2;
+            Word.pair_ptr new_addr
+          end
+          else begin
+            let size = 1 + Obj.header_len first in
+            (* Zero-field objects are padded to two words so the forwarding
+               marker and address always fit (see Obj.code_pad). *)
+            let alloc_size = max size 2 in
+            let new_addr = gc_alloc t ~space:si.space ~generation:target alloc_size in
+            for i = 0 to size - 1 do
+              store t (new_addr + i) (load t (addr + i))
+            done;
+            if alloc_size > size then
+              store t (new_addr + size) (Obj.header ~len:0 ~code:Obj.code_pad);
+            stats.words_copied <- stats.words_copied + size;
+            Word.typed_ptr new_addr
+          end
+        in
+        stats.objects_copied <- stats.objects_copied + 1;
+        store t addr Word.forward_marker;
+        store t (addr + 1) new_word;
+        new_word
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sweeping                                                            *)
+
+(* Generation of a word for remembered-set recomputation. *)
+let ref_gen t w = if Word.is_pointer w then (info_of_word t w).generation else max_int
+
+let note_min si g = if g < si.min_ref_gen then si.min_ref_gen <- g
+
+let push_dirty t seg =
+  let si = info t seg in
+  if si.min_ref_gen < si.generation && not si.on_dirty_list then begin
+    si.on_dirty_list <- true;
+    Vec.Int.push t.dirty seg
+  end
+
+(* Sweep the words of [seg] in [from, to_) as strong references: rewrite
+   each traced slot through [copy] and fold the referenced generations into
+   min_ref_gen.  Weak-space segments trace only cdr fields. *)
+let sweep_range t ~target seg ~from ~upto =
+  let si = info t seg in
+  let stats = (Heap.stats t).last in
+  let fwd addr =
+    let w = copy t ~target (load t addr) in
+    store t addr w;
+    note_min si (ref_gen t w)
+  in
+  (match si.space with
+  | Space.Pair ->
+      let off = ref from in
+      while !off < upto do
+        fwd (addr_of ~seg ~off:!off);
+        fwd (addr_of ~seg ~off:(!off + 1));
+        off := !off + 2
+      done
+  | Space.Weak ->
+      let off = ref from in
+      while !off < upto do
+        (* car is weak: left alone here, handled by the weak pass. *)
+        fwd (addr_of ~seg ~off:(!off + 1));
+        off := !off + 2
+      done
+  | Space.Ephemeron ->
+      (* Neither field is traced eagerly: the value may only be traced once
+         the key proves reachable.  Queue the cell for the ephemeron
+         fixpoint. *)
+      let off = ref from in
+      while !off < upto do
+        Vec.Int.push t.gc_ephemerons (addr_of ~seg ~off:!off);
+        off := !off + 2
+      done
+  | Space.Typed ->
+      let off = ref from in
+      while !off < upto do
+        let hdr = load t (addr_of ~seg ~off:!off) in
+        let len = Obj.header_len hdr in
+        for i = 1 to len do
+          fwd (addr_of ~seg ~off:(!off + i))
+        done;
+        off := !off + 1 + len
+      done
+  | Space.Data -> ());
+  stats.words_swept <- stats.words_swept + (upto - from)
+
+(* One round of the ephemeron fixpoint: resolve every queued ephemeron
+   whose key has proven reachable, tracing its value; keep the rest queued.
+   Returns whether anything was resolved. *)
+let process_ephemerons t ~target =
+  let pending = t.gc_ephemerons in
+  let n = Vec.Int.length pending in
+  let stats = (Heap.stats t).last in
+  let write = ref 0 in
+  let progress = ref false in
+  for i = 0 to n - 1 do
+    let addr = Vec.Int.get pending i in
+    let key = load t addr in
+    let resolved_key =
+      if not (Word.is_pointer key) then Some key
+      else begin
+        let ksi = info_of_word t key in
+        if not ksi.condemned then Some key
+        else if Word.equal (load t (Word.addr key)) Word.forward_marker then
+          Some (load t (Word.addr key + 1))
+        else None
+      end
+    in
+    match resolved_key with
+    | Some key' ->
+        progress := true;
+        stats.ephemerons_scanned <- stats.ephemerons_scanned + 1;
+        store t addr key';
+        (* The key is reachable: the value is strong after all. *)
+        let v = copy t ~target (load t (addr + 1)) in
+        store t (addr + 1) v;
+        let si = info_of_addr t addr in
+        note_min si (ref_gen t key');
+        note_min si (ref_gen t v);
+        push_dirty t (seg_of_addr addr)
+    | None ->
+        Vec.Int.set pending !write addr;
+        incr write
+  done;
+  Vec.Int.truncate pending !write;
+  !progress
+
+(* Break the ephemerons whose keys never proved reachable: key and value
+   both become #f.  Runs after the guardian pass (a guardian-saved key is a
+   reachable key). *)
+let break_ephemerons t =
+  let stats = (Heap.stats t).last in
+  Vec.Int.iter t.gc_ephemerons ~f:(fun addr ->
+      stats.ephemerons_scanned <- stats.ephemerons_scanned + 1;
+      stats.ephemerons_broken <- stats.ephemerons_broken + 1;
+      store t addr Word.false_;
+      store t (addr + 1) Word.false_);
+  Vec.Int.clear t.gc_ephemerons
+
+(* Cheney scan to a fixpoint: process every to-space segment's unscanned
+   suffix until no segment has one, interleaved with the ephemeron
+   fixpoint (a value traced because its key proved reachable can itself
+   reveal further reachable keys).  Copies performed while sweeping extend
+   [used] (possibly of other segments), hence the outer loop. *)
+let kleene_sweep t ~target =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* gc_new_segs can grow while we iterate: index-based loop. *)
+    let i = ref 0 in
+    while !i < Vec.Int.length t.gc_new_segs do
+      let seg = Vec.Int.get t.gc_new_segs !i in
+      let si = info t seg in
+      while si.live && si.scan < si.used do
+        progress := true;
+        let upto = si.used in
+        sweep_range t ~target seg ~from:si.scan ~upto;
+        si.scan <- upto
+      done;
+      incr i
+    done;
+    if process_ephemerons t ~target then progress := true
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Guardian pass                                                       *)
+
+type pend = { obj : Word.t; mutable rep : Word.t; tconc : Word.t }
+
+let guardian_pass t ~g ~target =
+  let stats = (Heap.stats t).last in
+  let pend_hold = ref [] and pend_final = ref [] in
+  (* First block: separate accessible from inaccessible registered objects.
+     The protected lists themselves are collector metadata and are not
+     forwarded.  For held entries the rep (agent) is kept alive here. *)
+  for i = 0 to g do
+    let p = t.protected.(i) in
+    let n = Vec.Int.length p.p_objs in
+    for j = 0 to n - 1 do
+      stats.protected_entries_visited <- stats.protected_entries_visited + 1;
+      let entry =
+        {
+          obj = Vec.Int.get p.p_objs j;
+          rep = Vec.Int.get p.p_reps j;
+          tconc = Vec.Int.get p.p_tconcs j;
+        }
+      in
+      if forwarded t entry.obj then begin
+        entry.rep <- copy t ~target entry.rep;
+        pend_hold := entry :: !pend_hold
+      end
+      else pend_final := entry :: !pend_final
+    done;
+    Vec.Int.clear p.p_objs;
+    Vec.Int.clear p.p_reps;
+    Vec.Int.clear p.p_tconcs
+  done;
+  kleene_sweep t ~target;
+  (* Second block: repeatedly queue inaccessible objects whose guardian is
+     accessible.  Forwarding the saved objects may make further guardians
+     accessible (a guardian registered with a guardian), hence the loop. *)
+  let continue_ = ref true in
+  while !continue_ do
+    let final, rest = List.partition (fun e -> forwarded t e.tconc) !pend_final in
+    pend_final := rest;
+    if final = [] then continue_ := false
+    else begin
+      List.iter
+        (fun e ->
+          let rep = copy t ~target e.rep in
+          let tc = forward_address t e.tconc in
+          Tconc.enqueue_with t
+            ~alloc_pair:(fun a d ->
+              let addr = gc_alloc t ~space:Space.Pair ~generation:target 2 in
+              store t addr a;
+              store t (addr + 1) d;
+              Word.pair_ptr addr)
+            tc rep;
+          stats.guardian_resurrections <- stats.guardian_resurrections + 1)
+        final;
+      kleene_sweep t ~target
+    end
+  done;
+  stats.guardian_entries_dropped <-
+    stats.guardian_entries_dropped + List.length !pend_final;
+  (* Third block: entries whose object is still accessible survive into the
+     target generation's protected list — provided their guardian does. *)
+  let entry_generation =
+    (* D1 ablation: a non-generation-friendly collector keeps every entry
+       on generation 0's protected list, forcing every minor collection to
+       visit all of them. *)
+    if (Heap.config t).Config.generation_friendly_guardians then target else 0
+  in
+  List.iter
+    (fun e ->
+      if forwarded t e.tconc then begin
+        protected_add_gen t ~generation:entry_generation
+          ~obj:(forward_address t e.obj)
+          ~rep:(forward_address t e.rep)
+          ~tconc:(forward_address t e.tconc);
+        stats.guardian_entries_promoted <- stats.guardian_entries_promoted + 1
+      end
+      else
+        stats.guardian_entries_dropped <- stats.guardian_entries_dropped + 1)
+    !pend_hold
+
+(* ------------------------------------------------------------------ *)
+(* Weak pass                                                           *)
+
+(* Mend or break the car of the weak pair at [addr] (car slot).  Runs after
+   the guardian pass, so guarded-saved objects have forwarding addresses and
+   their weak pointers survive. *)
+let process_weak_car t seg addr =
+  let si = info t seg in
+  let stats = (Heap.stats t).last in
+  stats.weak_pairs_scanned <- stats.weak_pairs_scanned + 1;
+  let w = load t addr in
+  if Word.is_pointer w then begin
+    let wsi = info_of_word t w in
+    if wsi.condemned then begin
+      if Word.equal (load t (Word.addr w)) Word.forward_marker then begin
+        let w' = load t (Word.addr w + 1) in
+        store t addr w';
+        note_min si (ref_gen t w')
+      end
+      else begin
+        store t addr Word.false_;
+        stats.weak_pointers_broken <- stats.weak_pointers_broken + 1
+      end
+    end
+    else note_min si (ref_gen t w)
+  end
+
+let weak_pass t ~dirty_weak_segs =
+  let scan_weak_segment seg =
+    let si = info t seg in
+    let off = ref 0 in
+    while !off < si.used do
+      process_weak_car t seg (addr_of ~seg ~off:!off);
+      off := !off + 2
+    done;
+    push_dirty t seg
+  in
+  (* Weak pairs copied during this collection... *)
+  Vec.Int.iter t.gc_new_segs ~f:(fun seg ->
+      let si = info t seg in
+      if si.live && si.space = Space.Weak then scan_weak_segment seg);
+  (* ...and weak pairs in older generations whose segment was dirty. *)
+  List.iter scan_weak_segment dirty_weak_segs
+
+(* ------------------------------------------------------------------ *)
+(* Dirty (remembered-set) scan                                         *)
+
+(* Sweep the remembered segments of generations older than [g] as roots.
+   Returns the weak-space segments among them, whose car fields still need
+   the weak pass.  Rebuilds the dirty list. *)
+let dirty_scan t ~g ~target =
+  let stats = (Heap.stats t).last in
+  let old_dirty = Vec.Int.to_list t.dirty in
+  Vec.Int.clear t.dirty;
+  let weak_segs = ref [] in
+  List.iter
+    (fun seg ->
+      let si = info t seg in
+      si.on_dirty_list <- false;
+      if si.live && not si.condemned then begin
+        if si.min_ref_gen <= g then begin
+          stats.dirty_segments_scanned <- stats.dirty_segments_scanned + 1;
+          (* Recompute the remembered generation from scratch during the
+             sweep (weak cars are folded in by the weak pass). *)
+          si.min_ref_gen <- si.generation;
+          sweep_range t ~target seg ~from:0 ~upto:si.used;
+          (match si.space with
+          | Space.Weak -> weak_segs := seg :: !weak_segs
+          | Space.Ephemeron ->
+              (* Cells were queued; min_ref_gen is recomputed as each cell
+                 is resolved or broken. *)
+              ()
+          | Space.Pair | Space.Typed | Space.Data -> push_dirty t seg)
+        end
+        else
+          (* Still dirty, but only with respect to generations not being
+             collected: keep it remembered, no scanning needed — this is the
+             "no additional overhead for older objects" property. *)
+          push_dirty t seg
+      end)
+    old_dirty;
+  !weak_segs
+
+(* ------------------------------------------------------------------ *)
+(* Root scan                                                           *)
+
+let root_scan t ~target =
+  let stats = (Heap.stats t).last in
+  iter_scanners t ~f:(fun scan ->
+      scan (fun w ->
+          stats.root_words <- stats.root_words + 1;
+          copy t ~target w))
+
+let weak_root_scan t =
+  let lookup w =
+    if not (Word.is_pointer w) then Some w
+    else begin
+      let si = info_of_word t w in
+      if not si.condemned then Some w
+      else if Word.equal (load t (Word.addr w)) Word.forward_marker then
+        Some (load t (Word.addr w + 1))
+      else None
+    end
+  in
+  iter_weak_scanners t ~f:(fun scan -> scan lookup)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let collect ?weak_pass_first t ~gen:g =
+  if t.in_collection then invalid_arg "Collector.collect: already collecting";
+  let cfg = Heap.config t in
+  if g < 0 || g > cfg.max_generation then invalid_arg "Collector.collect: bad generation";
+  let t0 = Unix_time.now_ns () in
+  t.in_collection <- true;
+  Stats.begin_collection (Heap.stats t);
+  let target = cfg.promote ~gen:g ~max_generation:cfg.max_generation in
+  Vec.Int.clear t.gc_new_segs;
+  Vec.Int.clear t.gc_ephemerons;
+  (* Condemn from-space: all segments of generations 0..g. *)
+  let condemned = Vec.Int.create () in
+  for i = 0 to g do
+    Vec.Int.iter (live_segments_of_gen t i) ~f:(fun seg ->
+        (info t seg).condemned <- true;
+        Vec.Int.push condemned seg)
+  done;
+  (* Only segments acquired during this collection are Cheney-swept (fresh
+     segments start with scan = 0); pre-existing target segments keep their
+     contents and are reached, if at all, through the remembered set. *)
+  reset_cursors t.gc_cursors;
+  (* Roots, remembered set, transitive copy. *)
+  root_scan t ~target;
+  let dirty_weak_segs = dirty_scan t ~g ~target in
+  kleene_sweep t ~target;
+  (* Guardian pass, then weak pass — in that order, so that weak pointers to
+     objects saved by guardians survive (paper Section 4).  The switchable
+     order exists only to demonstrate the breakage in tests (DESIGN.md D2). *)
+  (match weak_pass_first with
+  | Some true ->
+      weak_pass t ~dirty_weak_segs;
+      guardian_pass t ~g ~target;
+      break_ephemerons t
+  | _ ->
+      guardian_pass t ~g ~target;
+      break_ephemerons t;
+      weak_pass t ~dirty_weak_segs);
+  (* Baseline support: weak scanners observe forwarding before from-space is
+     reclaimed. *)
+  weak_root_scan t;
+  (* Remember any to-space segment left pointing at a younger generation
+     (possible under non-default promotion policies). *)
+  Vec.Int.iter t.gc_new_segs ~f:(fun seg ->
+      if (info t seg).live then push_dirty t seg);
+  (* Reclaim from-space. *)
+  Vec.Int.iter condemned ~f:(fun seg -> release_segment t seg);
+  reset_cursors t.mutator_cursors;
+  t.stats.words_allocated_since_gc <- 0;
+  t.gc_epoch <- t.gc_epoch + 1;
+  t.last_gc_generation <- g;
+  Stats.end_collection (Heap.stats t);
+  t.in_collection <- false;
+  run_post_gc_hooks t;
+  { generation = g; target; duration_ns = Unix_time.now_ns () -. t0 }

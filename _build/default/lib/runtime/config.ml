@@ -1,0 +1,62 @@
+(** Static configuration of a simulated heap instance. *)
+
+type t = {
+  segment_words : int;
+      (** Standard segment size in words.  The paper's Chez Scheme uses 4 KiB
+          segments; with 8-byte words that is 512 words, our default. *)
+  max_generation : int;
+      (** Generations are numbered [0 .. max_generation] (0 = youngest). *)
+  gen0_trigger_words : int;
+      (** A collect request fires once this many words have been allocated
+          in generation 0 since the last collection (checked at
+          safepoints). *)
+  collect_radix : int;
+      (** Generation [g] is collected every [collect_radix ** g] collect
+          requests: generation 0 every time, older generations
+          exponentially less often — the paper's promotion schedule. *)
+  promote : gen:int -> max_generation:int -> int;
+      (** Target generation for a collection of generations [0..gen].  The
+          paper's simple strategy is [min (gen + 1) max_generation]. *)
+  generation_friendly_guardians : bool;
+      (** The paper's design: protected-list entries are promoted to the
+          target generation along with their objects, so collections only
+          visit entries of the generations actually being collected.
+          [false] keeps every entry on generation 0's list — the ablation
+          measured by bench E1b (DESIGN.md D1). *)
+  max_heap_words : int;
+      (** Hard ceiling on allocated words across all segments;
+          {!Heap.Out_of_memory} is raised once it would be exceeded
+          (default: effectively unlimited). *)
+}
+
+let default_promote ~gen ~max_generation = min (gen + 1) max_generation
+
+let default =
+  {
+    segment_words = 512;
+    max_generation = 4;
+    gen0_trigger_words = 64 * 1024;
+    collect_radix = 4;
+    promote = default_promote;
+    generation_friendly_guardians = true;
+    max_heap_words = max_int;
+  }
+
+let v ?(segment_words = default.segment_words)
+    ?(max_generation = default.max_generation)
+    ?(gen0_trigger_words = default.gen0_trigger_words)
+    ?(collect_radix = default.collect_radix) ?(promote = default_promote)
+    ?(generation_friendly_guardians = true) ?(max_heap_words = max_int) () =
+  if segment_words < 8 then invalid_arg "Config.v: segment_words too small";
+  if max_generation < 0 then invalid_arg "Config.v: negative max_generation";
+  if collect_radix < 2 then invalid_arg "Config.v: collect_radix must be >= 2";
+  if max_heap_words < segment_words then invalid_arg "Config.v: max_heap_words too small";
+  {
+    segment_words;
+    max_generation;
+    gen0_trigger_words;
+    collect_radix;
+    promote;
+    generation_friendly_guardians;
+    max_heap_words;
+  }

@@ -1,0 +1,44 @@
+(** Static configuration of a simulated heap instance. *)
+
+type t = {
+  segment_words : int;
+      (** Standard segment size in words.  The paper's Chez Scheme uses
+          4 KiB segments; with 8-byte words that is 512 words, our
+          default. *)
+  max_generation : int;
+      (** Generations are numbered [0 .. max_generation] (0 = youngest). *)
+  gen0_trigger_words : int;
+      (** A collect request fires once this many words have been allocated
+          in generation 0 since the last collection (checked at
+          safepoints). *)
+  collect_radix : int;
+      (** Generation [g] is collected every [collect_radix ** g] collect
+          requests. *)
+  promote : gen:int -> max_generation:int -> int;
+      (** Target generation for a collection of generations [0..gen]. *)
+  generation_friendly_guardians : bool;
+      (** The paper's design: protected-list entries are promoted to the
+          target generation along with their objects.  [false] keeps every
+          entry on generation 0's list — the D1 ablation. *)
+  max_heap_words : int;
+      (** Hard ceiling on allocated words; {!Heap.Out_of_memory} once it
+          would be exceeded (default: effectively unlimited). *)
+}
+
+val default_promote : gen:int -> max_generation:int -> int
+(** The paper's simple strategy: [min (gen + 1) max_generation]. *)
+
+val default : t
+
+val v :
+  ?segment_words:int ->
+  ?max_generation:int ->
+  ?gen0_trigger_words:int ->
+  ?collect_radix:int ->
+  ?promote:(gen:int -> max_generation:int -> int) ->
+  ?generation_friendly_guardians:bool ->
+  ?max_heap_words:int ->
+  unit ->
+  t
+(** Build a configuration, validating the parameters.
+    @raise Invalid_argument on nonsensical values. *)

@@ -1,0 +1,25 @@
+(** Ephemeron pairs: conditional weakness (a post-paper Chez Scheme
+    extension, included here as the natural next step of the paper's weak
+    machinery).
+
+    An ephemeron holds a key weakly and a value {e conditionally}: the
+    value keeps things alive only while the key is reachable through some
+    other path.  When the key dies, both fields become [#f].  This fixes
+    the leak weak pairs have when a value references its own key (e.g. a
+    weak table whose values mention their keys): with a weak pair the
+    key→value→key cycle is retained forever; with an ephemeron it
+    collapses.
+
+    The collector resolves ephemerons with a fixpoint interleaved with the
+    Cheney sweep and the guardian pass, so a key saved by a guardian counts
+    as reachable and keeps its ephemeron intact. *)
+
+let cons = Obj.ephemeron_cons
+let is_ephemeron = Obj.is_ephemeron
+let key = Obj.car
+let value = Obj.cdr
+let set_key = Obj.set_car
+let set_value = Obj.set_cdr
+
+(** True once the key has been reclaimed (both fields read [#f]). *)
+let broken h w = Word.is_false (Obj.car h w) && Word.is_false (Obj.cdr h w)

@@ -1,0 +1,17 @@
+(** Ephemeron pairs: conditional weakness (post-paper Chez Scheme
+    extension).
+
+    The key is held weakly; the value keeps objects alive only while the
+    key is reachable through some other path.  When the key dies, both
+    fields become [#f].  Unlike a weak pair, a value that references its
+    own key does not leak. *)
+
+val cons : Heap.t -> Word.t -> Word.t -> Word.t
+val is_ephemeron : Heap.t -> Word.t -> bool
+val key : Heap.t -> Word.t -> Word.t
+val value : Heap.t -> Word.t -> Word.t
+val set_key : Heap.t -> Word.t -> Word.t -> unit
+val set_value : Heap.t -> Word.t -> Word.t -> unit
+
+val broken : Heap.t -> Word.t -> bool
+(** True once the key has been reclaimed. *)

@@ -1,0 +1,473 @@
+(** The simulated segmented heap.
+
+    A heap instance owns:
+    - the {e store}: an array of segments, each an [int array] of tagged
+      words (see {!Word});
+    - the {e segment information table} mapping each segment to its space,
+      generation and dirty status (the paper's Chez Scheme substrate);
+    - per-space allocation cursors for the mutator (generation 0) and for
+      the collector (the target generation during a collection);
+    - the {e root} registry (global cells plus arbitrary scanners);
+    - the per-generation {e protected lists} of guardian registrations;
+    - work counters ({!Stats}).
+
+    Mutator allocation never runs the collector: collections happen only at
+    explicit safepoints (see {!Runtime.safepoint}), so OCaml code is free to
+    hold raw words between its own safepoints.  Anything that must survive a
+    collection has to be reachable from a root. *)
+
+exception Allocation_forbidden
+(** Raised by mutator allocation while a collector-invoked finalization
+    thunk is running (the Dickey baseline's restriction, see
+    {!Baselines.Finalize}). *)
+
+exception Out_of_memory
+(** Raised by mutator allocation once the configured [max_heap_words]
+    ceiling would be exceeded.  Collections are exempt (copying transiently
+    needs both spaces). *)
+
+let stride_bits = 20
+let max_segment_words = 1 lsl stride_bits
+
+type seg_info = {
+  mutable space : Space.t;
+  mutable generation : int;
+  mutable used : int;  (** words allocated so far *)
+  mutable size : int;  (** capacity in words *)
+  mutable min_ref_gen : int;
+      (** youngest generation this segment may hold a pointer into; equal to
+          [generation] when clean.  The remembered set. *)
+  mutable live : bool;
+  mutable condemned : bool;  (** part of from-space of the current GC *)
+  mutable scan : int;  (** collector scan cursor (words) *)
+  mutable on_dirty_list : bool;
+  mutable large : bool;  (** oversized single-object segment *)
+  mutable mark_epoch : int;  (** dedup marker for segment-list compaction *)
+}
+
+type cursor = { mutable seg : int }  (** -1 when no current segment *)
+
+type protected = {
+  (* Parallel vectors: one guardian registration per index.  [rep] is the
+     word enqueued when [obj] proves inaccessible; it equals [obj] for plain
+     registrations and is a distinct "agent" for the generalized interface
+     of the paper's Section 5. *)
+  p_objs : Vec.Int.t;
+  p_reps : Vec.Int.t;
+  p_tconcs : Vec.Int.t;
+}
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  mutable segs : int array array;
+  mutable infos : seg_info array;
+  mutable nsegs : int;
+  mutable free_std : int list;  (** free segments whose array is retained *)
+  mutable free_ids : int list;  (** free segment ids whose array was dropped *)
+  mutator_cursors : cursor array;  (** per space: generation-0 allocation *)
+  gc_cursors : cursor array;  (** per space: target-generation allocation *)
+  gen_segs : Vec.Int.t array;  (** per generation: seg ids (may be stale) *)
+  gc_new_segs : Vec.Int.t;  (** segments acquired during the current GC *)
+  gc_ephemerons : Vec.Int.t;
+      (** key-slot addresses of ephemerons discovered but not yet resolved
+          during the current GC *)
+  dirty : Vec.Int.t;  (** seg ids with [min_ref_gen < generation] *)
+  mutable epoch_counter : int;
+  protected : protected array;  (** per generation *)
+  mutable global_cells : int array;
+  mutable global_cells_len : int;
+  mutable global_free : int list;
+  mutable scanners : (int * ((Word.t -> Word.t) -> unit)) list;
+  mutable weak_scanners : (int * ((Word.t -> Word.t option) -> unit)) list;
+  mutable next_scanner_id : int;
+  mutable in_collection : bool;
+  mutable alloc_forbidden : bool;
+  mutable segment_words_live : int;  (** capacity of all live segments *)
+  mutable gc_epoch : int;  (** bumped at the end of every collection *)
+  mutable collect_count : int;  (** collect requests served (schedule input) *)
+  mutable last_gc_generation : int;  (** oldest generation of the last GC *)
+  mutable collect_request_handler : (t -> unit) option;
+  mutable post_gc_hooks : (int * (t -> unit)) list;
+}
+
+let fresh_info () =
+  {
+    space = Space.Pair;
+    generation = 0;
+    used = 0;
+    size = 0;
+    min_ref_gen = 0;
+    live = false;
+    condemned = false;
+    scan = 0;
+    on_dirty_list = false;
+    large = false;
+    mark_epoch = 0;
+  }
+
+let create ?(config = Config.default) () =
+  {
+    config;
+    stats = Stats.create ();
+    segs = Array.make 16 [||];
+    infos = Array.init 16 (fun _ -> fresh_info ());
+    nsegs = 0;
+    free_std = [];
+    free_ids = [];
+    mutator_cursors = Array.init Space.count (fun _ -> { seg = -1 });
+    gc_cursors = Array.init Space.count (fun _ -> { seg = -1 });
+    gen_segs = Array.init (config.max_generation + 1) (fun _ -> Vec.Int.create ());
+    gc_new_segs = Vec.Int.create ();
+    gc_ephemerons = Vec.Int.create ();
+    dirty = Vec.Int.create ();
+    epoch_counter = 0;
+    protected =
+      Array.init (config.max_generation + 1) (fun _ ->
+          {
+            p_objs = Vec.Int.create ();
+            p_reps = Vec.Int.create ();
+            p_tconcs = Vec.Int.create ();
+          });
+    global_cells = Array.make 64 Word.nil;
+    global_cells_len = 0;
+    global_free = [];
+    scanners = [];
+    weak_scanners = [];
+    next_scanner_id = 0;
+    in_collection = false;
+    alloc_forbidden = false;
+    segment_words_live = 0;
+    gc_epoch = 0;
+    collect_count = 0;
+    last_gc_generation = -1;
+    collect_request_handler = None;
+    post_gc_hooks = [];
+  }
+
+let config t = t.config
+let stats t = t.stats
+let gc_epoch t = t.gc_epoch
+let max_generation t = t.config.max_generation
+
+(* ------------------------------------------------------------------ *)
+(* Store access                                                        *)
+
+let seg_of_addr addr = addr lsr stride_bits
+let off_of_addr addr = addr land (max_segment_words - 1)
+let addr_of ~seg ~off = (seg lsl stride_bits) lor off
+
+let load t addr = t.segs.(seg_of_addr addr).(off_of_addr addr)
+let store t addr w = t.segs.(seg_of_addr addr).(off_of_addr addr) <- w
+
+let info t seg = t.infos.(seg)
+let info_of_addr t addr = t.infos.(seg_of_addr addr)
+let info_of_word t w = t.infos.(seg_of_addr (Word.addr w))
+
+(** Generation an arbitrary word "lives in": immediates and fixnums are
+    ageless and report [max_int] (they never need remembering). *)
+let generation_of_word t w =
+  if Word.is_pointer w then (info_of_word t w).generation else max_int
+
+let space_of_word t w =
+  assert (Word.is_pointer w);
+  (info_of_word t w).space
+
+(* ------------------------------------------------------------------ *)
+(* Segment management                                                  *)
+
+let grow_tables t needed =
+  if needed > Array.length t.segs then begin
+    let cap = ref (Array.length t.segs) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let segs = Array.make !cap [||] in
+    Array.blit t.segs 0 segs 0 t.nsegs;
+    t.segs <- segs;
+    let infos = Array.init !cap (fun i -> if i < t.nsegs then t.infos.(i) else fresh_info ()) in
+    t.infos <- infos
+  end
+
+let fresh_seg_id t =
+  match t.free_ids with
+  | id :: rest ->
+      t.free_ids <- rest;
+      id
+  | [] ->
+      grow_tables t (t.nsegs + 1);
+      let id = t.nsegs in
+      t.nsegs <- t.nsegs + 1;
+      id
+
+(** Acquire a segment for [space] in [generation], of at least [min_words]
+    (a standard segment unless the object is oversized). *)
+let acquire_segment t ~space ~generation ~min_words =
+  if min_words > max_segment_words then
+    invalid_arg "object larger than the maximum segment size";
+  let std = t.config.segment_words in
+  (* Enforce the heap ceiling for the mutator; a running collection is
+     exempt (stop-and-copy transiently needs from- and to-space). *)
+  if
+    (not t.in_collection)
+    && t.segment_words_live + max min_words std > t.config.max_heap_words
+  then raise Out_of_memory;
+  let seg =
+    if min_words <= std then
+      match t.free_std with
+      | id :: rest ->
+          t.free_std <- rest;
+          id
+      | [] ->
+          let id = fresh_seg_id t in
+          t.segs.(id) <- Array.make std 0;
+          id
+    else begin
+      let id = fresh_seg_id t in
+      t.segs.(id) <- Array.make min_words 0;
+      id
+    end
+  in
+  let si = t.infos.(seg) in
+  si.space <- space;
+  si.generation <- generation;
+  si.used <- 0;
+  si.size <- Array.length t.segs.(seg);
+  si.min_ref_gen <- generation;
+  si.live <- true;
+  si.condemned <- false;
+  si.scan <- 0;
+  si.on_dirty_list <- false;
+  si.large <- min_words > std;
+  t.segment_words_live <- t.segment_words_live + si.size;
+  Vec.Int.push t.gen_segs.(generation) seg;
+  if t.in_collection then Vec.Int.push t.gc_new_segs seg;
+  t.stats.last.segments_allocated <- t.stats.last.segments_allocated + 1;
+  seg
+
+let release_segment t seg =
+  let si = t.infos.(seg) in
+  t.segment_words_live <- t.segment_words_live - si.size;
+  si.live <- false;
+  si.condemned <- false;
+  si.used <- 0;
+  si.on_dirty_list <- false;
+  t.stats.last.segments_freed <- t.stats.last.segments_freed + 1;
+  if si.large then begin
+    t.segs.(seg) <- [||];
+    si.large <- false;
+    si.size <- 0;
+    t.free_ids <- seg :: t.free_ids
+  end
+  else t.free_std <- seg :: t.free_std
+
+(** Live segments currently assigned to [generation].  The per-generation
+    lists may contain stale ids (segments freed or re-assigned) and
+    duplicates (segments re-acquired for the same generation); both are
+    filtered out and compacted here, keeping enumeration proportional to the
+    size of the generation, not of the heap. *)
+let live_segments_of_gen t generation =
+  t.epoch_counter <- t.epoch_counter + 1;
+  let epoch = t.epoch_counter in
+  let v = t.gen_segs.(generation) in
+  let out = Vec.Int.create ~capacity:(Vec.Int.length v) () in
+  Vec.Int.iter v ~f:(fun seg ->
+      let si = t.infos.(seg) in
+      if si.live && si.generation = generation && si.mark_epoch <> epoch then begin
+        si.mark_epoch <- epoch;
+        Vec.Int.push out seg
+      end);
+  Vec.Int.clear v;
+  Vec.Int.iter out ~f:(fun seg -> Vec.Int.push v seg);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let bump t ~cursors ~space ~generation nwords =
+  let idx = Space.to_index space in
+  let cur = cursors.(idx) in
+  let seg =
+    if cur.seg >= 0 then begin
+      let si = t.infos.(cur.seg) in
+      if
+        si.live && (not si.condemned) && si.generation = generation
+        && si.space = space
+        && si.used + nwords <= si.size
+      then cur.seg
+      else begin
+        let s = acquire_segment t ~space ~generation ~min_words:nwords in
+        if not t.infos.(s).large then cur.seg <- s;
+        s
+      end
+    end
+    else begin
+      let s = acquire_segment t ~space ~generation ~min_words:nwords in
+      if not t.infos.(s).large then cur.seg <- s;
+      s
+    end
+  in
+  let si = t.infos.(seg) in
+  let off = si.used in
+  si.used <- si.used + nwords;
+  addr_of ~seg ~off
+
+(** Mutator allocation: raw words in generation 0.  The caller initializes
+    the words; until then they read as fixnum 0. *)
+let alloc t ~space nwords =
+  if t.alloc_forbidden then raise Allocation_forbidden;
+  t.stats.words_allocated <- t.stats.words_allocated + nwords;
+  t.stats.words_allocated_since_gc <- t.stats.words_allocated_since_gc + nwords;
+  bump t ~cursors:t.mutator_cursors ~space ~generation:0 nwords
+
+(** Collector allocation into the target generation during a collection. *)
+let gc_alloc t ~space ~generation nwords =
+  assert t.in_collection;
+  bump t ~cursors:t.gc_cursors ~space ~generation nwords
+
+let reset_cursors cursors = Array.iter (fun c -> c.seg <- -1) cursors
+
+(* ------------------------------------------------------------------ *)
+(* Remembered set (dirty segments)                                     *)
+
+(** Record that [value] was stored into the object at [addr].  If this
+    creates an old-to-young pointer, remember the segment. *)
+let note_mutation t ~addr ~value =
+  if Word.is_pointer value then begin
+    let si = t.infos.(seg_of_addr addr) in
+    let vgen = (t.infos.(seg_of_addr (Word.addr value))).generation in
+    if vgen < si.min_ref_gen then begin
+      si.min_ref_gen <- vgen;
+      if not si.on_dirty_list then begin
+        si.on_dirty_list <- true;
+        Vec.Int.push t.dirty (seg_of_addr addr)
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Roots                                                               *)
+
+(** Allocate a global root cell; its content is scanned (and updated) by
+    every collection. *)
+let new_cell t init =
+  match t.global_free with
+  | i :: rest ->
+      t.global_free <- rest;
+      t.global_cells.(i) <- init;
+      i
+  | [] ->
+      if t.global_cells_len = Array.length t.global_cells then begin
+        let cells = Array.make (2 * Array.length t.global_cells) Word.nil in
+        Array.blit t.global_cells 0 cells 0 t.global_cells_len;
+        t.global_cells <- cells
+      end;
+      let i = t.global_cells_len in
+      t.global_cells_len <- t.global_cells_len + 1;
+      t.global_cells.(i) <- init;
+      i
+
+let read_cell t i = t.global_cells.(i)
+let write_cell t i w = t.global_cells.(i) <- w
+
+let free_cell t i =
+  t.global_cells.(i) <- Word.nil;
+  t.global_free <- i :: t.global_free
+
+(** Register a root scanner.  During a collection it is called with the
+    forwarding function and must apply it to every root word it owns,
+    storing back the results.  Returns an id for {!remove_scanner}. *)
+let add_scanner t scan =
+  let id = t.next_scanner_id in
+  t.next_scanner_id <- id + 1;
+  t.scanners <- (id, scan) :: t.scanners;
+  id
+
+let remove_scanner t id = t.scanners <- List.filter (fun (i, _) -> i <> id) t.scanners
+
+(** Register a weak scanner: called after each collection's weak pass with a
+    [lookup] function mapping an old word to its new location, or [None] if
+    the object was reclaimed.  Weak scanners do not keep objects alive. *)
+let add_weak_scanner t scan =
+  let id = t.next_scanner_id in
+  t.next_scanner_id <- id + 1;
+  t.weak_scanners <- (id, scan) :: t.weak_scanners;
+  id
+
+let remove_weak_scanner t id =
+  t.weak_scanners <- List.filter (fun (i, _) -> i <> id) t.weak_scanners
+
+let iter_scanners t ~f =
+  (* Built-in roots: the global cells. *)
+  f (fun rewrite ->
+      for i = 0 to t.global_cells_len - 1 do
+        t.global_cells.(i) <- rewrite t.global_cells.(i)
+      done);
+  List.iter (fun (_, scan) -> f scan) t.scanners
+
+let iter_weak_scanners t ~f = List.iter (fun (_, scan) -> f scan) t.weak_scanners
+
+(** Run [f] with a temporary root cell holding [w]; returns [f cell_id].
+    Convenient for library code that must keep a value alive across a
+    potential safepoint. *)
+let with_cell t w f =
+  let c = new_cell t w in
+  Fun.protect ~finally:(fun () -> free_cell t c) (fun () -> f c)
+
+(* ------------------------------------------------------------------ *)
+(* Protected lists (guardian registrations)                            *)
+
+(** Register [obj] with the guardian whose tconc is [tconc]: a new entry is
+    added to the protected list for generation 0, exactly as in the paper.
+    [rep] is what the collector will enqueue when [obj] proves
+    inaccessible. *)
+let protected_add t ~obj ~rep ~tconc =
+  let p = t.protected.(0) in
+  Vec.Int.push p.p_objs obj;
+  Vec.Int.push p.p_reps rep;
+  Vec.Int.push p.p_tconcs tconc;
+  t.stats.registrations <- t.stats.registrations + 1
+
+let protected_add_gen t ~generation ~obj ~rep ~tconc =
+  let p = t.protected.(generation) in
+  Vec.Int.push p.p_objs obj;
+  Vec.Int.push p.p_reps rep;
+  Vec.Int.push p.p_tconcs tconc
+
+let protected_length t generation =
+  Vec.Int.length t.protected.(generation).p_objs
+
+let protected_total t =
+  Array.fold_left (fun acc p -> acc + Vec.Int.length p.p_objs) 0 t.protected
+
+(* ------------------------------------------------------------------ *)
+(* Post-GC hooks                                                       *)
+
+let add_post_gc_hook t hook =
+  let id = t.next_scanner_id in
+  t.next_scanner_id <- id + 1;
+  t.post_gc_hooks <- (id, hook) :: t.post_gc_hooks;
+  id
+
+let remove_post_gc_hook t id =
+  t.post_gc_hooks <- List.filter (fun (i, _) -> i <> id) t.post_gc_hooks
+
+let run_post_gc_hooks t = List.iter (fun (_, h) -> h t) t.post_gc_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let live_words t =
+  let total = ref 0 in
+  for seg = 0 to t.nsegs - 1 do
+    let si = t.infos.(seg) in
+    if si.live then total := !total + si.used
+  done;
+  !total
+
+let live_segments t =
+  let total = ref 0 in
+  for seg = 0 to t.nsegs - 1 do
+    if t.infos.(seg).live then incr total
+  done;
+  !total

@@ -1,0 +1,189 @@
+(** The simulated segmented heap.
+
+    A heap instance owns the store (segments of tagged words), the segment
+    information table, per-space allocation cursors, the root registry, the
+    per-generation protected lists of guardian registrations, and work
+    counters.
+
+    Mutator allocation never runs the collector: collections happen only at
+    explicit safepoints ({!Runtime.safepoint}) or explicit
+    {!Collector.collect} calls, so OCaml code may hold raw words between
+    its own safepoints.  Anything that must survive a collection has to be
+    reachable from a root. *)
+
+exception Allocation_forbidden
+(** Raised by mutator allocation while a collector-invoked finalization
+    thunk runs (the Dickey baseline's restriction). *)
+
+exception Out_of_memory
+(** Raised by mutator allocation once [Config.max_heap_words] would be
+    exceeded.  Collections are exempt. *)
+
+val stride_bits : int
+val max_segment_words : int
+
+type seg_info = {
+  mutable space : Space.t;
+  mutable generation : int;
+  mutable used : int;  (** words allocated so far *)
+  mutable size : int;  (** capacity in words *)
+  mutable min_ref_gen : int;
+      (** youngest generation this segment may hold a pointer into; equal
+          to [generation] when clean.  The remembered set. *)
+  mutable live : bool;
+  mutable condemned : bool;  (** part of from-space of the current GC *)
+  mutable scan : int;  (** collector scan cursor (words) *)
+  mutable on_dirty_list : bool;
+  mutable large : bool;  (** oversized single-object segment *)
+  mutable mark_epoch : int;
+}
+
+type cursor = { mutable seg : int }
+
+type protected = {
+  p_objs : Vec.Int.t;
+  p_reps : Vec.Int.t;
+  p_tconcs : Vec.Int.t;
+}
+(** Parallel vectors: one guardian registration per index.  [rep] is the
+    word enqueued when [obj] proves inaccessible (equal to [obj] for plain
+    registrations; a distinct agent for the paper's Section 5 interface). *)
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  mutable segs : int array array;
+  mutable infos : seg_info array;
+  mutable nsegs : int;
+  mutable free_std : int list;
+  mutable free_ids : int list;
+  mutator_cursors : cursor array;
+  gc_cursors : cursor array;
+  gen_segs : Vec.Int.t array;
+  gc_new_segs : Vec.Int.t;  (** segments acquired during the current GC *)
+  gc_ephemerons : Vec.Int.t;
+      (** key-slot addresses of ephemerons discovered but not yet resolved
+          during the current GC *)
+  dirty : Vec.Int.t;
+  mutable epoch_counter : int;
+  protected : protected array;  (** per generation *)
+  mutable global_cells : int array;
+  mutable global_cells_len : int;
+  mutable global_free : int list;
+  mutable scanners : (int * ((Word.t -> Word.t) -> unit)) list;
+  mutable weak_scanners : (int * ((Word.t -> Word.t option) -> unit)) list;
+  mutable next_scanner_id : int;
+  mutable in_collection : bool;
+  mutable alloc_forbidden : bool;
+  mutable segment_words_live : int;  (** capacity of all live segments *)
+  mutable gc_epoch : int;
+  mutable collect_count : int;
+  mutable last_gc_generation : int;  (** oldest generation of the last GC *)
+  mutable collect_request_handler : (t -> unit) option;
+  mutable post_gc_hooks : (int * (t -> unit)) list;
+}
+
+val create : ?config:Config.t -> unit -> t
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+val gc_epoch : t -> int
+(** Bumped at the end of every collection; lets caches (e.g. address-hash
+    tables) detect that objects may have moved. *)
+
+val max_generation : t -> int
+
+(** {1 Store access} *)
+
+val seg_of_addr : int -> int
+val off_of_addr : int -> int
+val addr_of : seg:int -> off:int -> int
+val load : t -> int -> Word.t
+val store : t -> int -> Word.t -> unit
+val info : t -> int -> seg_info
+val info_of_addr : t -> int -> seg_info
+val info_of_word : t -> Word.t -> seg_info
+
+val generation_of_word : t -> Word.t -> int
+(** Generation a word lives in; immediates report [max_int]. *)
+
+val space_of_word : t -> Word.t -> Space.t
+
+(** {1 Segments} *)
+
+val acquire_segment : t -> space:Space.t -> generation:int -> min_words:int -> int
+val release_segment : t -> int -> unit
+
+val live_segments_of_gen : t -> int -> Vec.Int.t
+(** Live segments of a generation, deduplicated and compacted; cost is
+    proportional to the generation, not the heap. *)
+
+(** {1 Allocation} *)
+
+val alloc : t -> space:Space.t -> int -> int
+(** Mutator allocation: raw words in generation 0, zero-initialized as
+    fixnum 0 until the caller fills them.  Never collects.
+    @raise Allocation_forbidden inside finalization thunks. *)
+
+val gc_alloc : t -> space:Space.t -> generation:int -> int -> int
+(** Collector allocation into the target generation during a collection. *)
+
+val reset_cursors : cursor array -> unit
+
+(** {1 Remembered set} *)
+
+val note_mutation : t -> addr:int -> value:Word.t -> unit
+(** Record that [value] was stored at [addr]; remembers the segment if this
+    creates an old-to-young pointer.  Called by every pointer-field mutator
+    in {!Obj}. *)
+
+(** {1 Roots} *)
+
+val new_cell : t -> Word.t -> int
+(** Allocate a global root cell: scanned (and updated) by every
+    collection. *)
+
+val read_cell : t -> int -> Word.t
+val write_cell : t -> int -> Word.t -> unit
+val free_cell : t -> int -> unit
+
+val add_scanner : t -> ((Word.t -> Word.t) -> unit) -> int
+(** Register a root scanner: during a collection it is called with the
+    forwarding function and must apply it to every root word it owns,
+    storing back the results.  Returns an id for {!remove_scanner}. *)
+
+val remove_scanner : t -> int -> unit
+
+val add_weak_scanner : t -> ((Word.t -> Word.t option) -> unit) -> int
+(** Register a weak scanner: called after each collection's weak pass with
+    a lookup mapping an old word to its new location ([None] if reclaimed).
+    Weak scanners do not keep objects alive. *)
+
+val remove_weak_scanner : t -> int -> unit
+val iter_scanners : t -> f:(((Word.t -> Word.t) -> unit) -> unit) -> unit
+val iter_weak_scanners : t -> f:(((Word.t -> Word.t option) -> unit) -> unit) -> unit
+
+val with_cell : t -> Word.t -> (int -> 'a) -> 'a
+(** Scoped temporary root cell. *)
+
+(** {1 Protected lists (guardian registrations)} *)
+
+val protected_add : t -> obj:Word.t -> rep:Word.t -> tconc:Word.t -> unit
+(** Add an entry to generation 0's protected list, as in the paper. *)
+
+val protected_add_gen :
+  t -> generation:int -> obj:Word.t -> rep:Word.t -> tconc:Word.t -> unit
+
+val protected_length : t -> int -> int
+val protected_total : t -> int
+
+(** {1 Post-GC hooks} *)
+
+val add_post_gc_hook : t -> (t -> unit) -> int
+val remove_post_gc_hook : t -> int -> unit
+val run_post_gc_hooks : t -> unit
+
+(** {1 Introspection} *)
+
+val live_words : t -> int
+val live_segments : t -> int

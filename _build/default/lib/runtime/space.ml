@@ -1,0 +1,45 @@
+(** Heap spaces.
+
+    Following the paper (and Chez Scheme's segmented memory system), every
+    segment belongs to a space that determines how the collector sweeps it:
+
+    - {!Pair}: two-word cells, both fields traced;
+    - {!Weak}: two-word cells whose car is a weak pointer — traced only in
+      the cdr, with the car mended or broken in a second pass {e after} the
+      guardian pass;
+    - {!Typed}: header-prefixed objects whose pointer fields are traced;
+    - {!Data}: header-prefixed objects containing no pointers (string and
+      bytevector bodies), copied but never traced. *)
+
+type t =
+  | Pair
+  | Weak
+  | Ephemeron
+  | Typed
+  | Data
+
+let count = 5
+
+let to_index = function
+  | Pair -> 0
+  | Weak -> 1
+  | Ephemeron -> 2
+  | Typed -> 3
+  | Data -> 4
+
+let of_index = function
+  | 0 -> Pair
+  | 1 -> Weak
+  | 2 -> Ephemeron
+  | 3 -> Typed
+  | 4 -> Data
+  | _ -> invalid_arg "Space.of_index"
+
+let to_string = function
+  | Pair -> "pair"
+  | Weak -> "weak"
+  | Ephemeron -> "ephemeron"
+  | Typed -> "typed"
+  | Data -> "data"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,26 @@
+(** Heap spaces.
+
+    Following the paper (and Chez Scheme's segmented memory system), every
+    segment belongs to a space that determines how the collector sweeps
+    it. *)
+
+type t =
+  | Pair  (** two-word cells, both fields traced *)
+  | Weak
+      (** two-word cells whose car is a weak pointer: only the cdr is
+          traced; cars are mended or broken in a second pass {e after} the
+          guardian pass *)
+  | Ephemeron
+      (** two-word key/value cells: the value is traced only while the key
+          is otherwise reachable; both are broken when the key dies (a
+          post-paper Chez Scheme extension) *)
+  | Typed  (** header-prefixed objects with traced pointer fields *)
+  | Data
+      (** header-prefixed pointer-free bodies (strings, bytevectors):
+          copied, never traced *)
+
+val count : int
+val to_index : t -> int
+val of_index : int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Work counters.
+
+    The paper's claims are complexity claims ("overhead proportional to the
+    work already done", "proportional to the number of clean-up actions
+    actually performed"), so the collector and the guardian machinery count
+    the work they do. *)
+
+type counters = {
+  mutable collections : int;
+  mutable objects_copied : int;
+  mutable words_copied : int;
+  mutable words_swept : int;  (** words examined during Cheney scans *)
+  mutable root_words : int;
+  mutable dirty_segments_scanned : int;
+  mutable protected_entries_visited : int;
+      (** entries of protected lists of the collected generations — the
+          guardian-specific collector overhead *)
+  mutable guardian_resurrections : int;
+      (** inaccessible registered objects saved and queued *)
+  mutable guardian_entries_promoted : int;
+  mutable guardian_entries_dropped : int;  (** entries whose guardian died *)
+  mutable weak_pairs_scanned : int;
+  mutable weak_pointers_broken : int;
+  mutable ephemerons_scanned : int;
+  mutable ephemerons_broken : int;
+  mutable segments_freed : int;
+  mutable segments_allocated : int;
+}
+
+val zero : unit -> counters
+
+type t = {
+  last : counters;  (** counters of the most recent collection *)
+  total : counters;  (** lifetime totals *)
+  mutable words_allocated : int;
+  mutable words_allocated_since_gc : int;
+  mutable guardian_polls : int;  (** mutator guardian invocations *)
+  mutable guardian_hits : int;  (** polls that returned an object *)
+  mutable registrations : int;
+}
+
+val create : unit -> t
+
+val begin_collection : t -> unit
+(** Reset [last] at the start of a collection. *)
+
+val end_collection : t -> unit
+(** Fold [last] into [total] at the end of a collection. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,45 @@
+(** Symbol interning with a weakly-held oblist.
+
+    [intern] returns the same symbol object for the same name while that
+    symbol is otherwise reachable; but the table itself holds its symbols
+    weakly, so symbols no longer referenced anywhere else are reclaimed and
+    their entries dropped — the Friedman–Wise oblist-entry elimination the
+    paper mentions Chez Scheme implements. *)
+
+type entry = { mutable word : Word.t }
+
+type t = {
+  heap : Heap.t;
+  table : (string, entry) Hashtbl.t;
+  scanner_id : int;
+}
+
+let create heap =
+  let table = Hashtbl.create 64 in
+  let scanner_id =
+    Heap.add_weak_scanner heap (fun lookup ->
+        let dead = ref [] in
+        Hashtbl.iter
+          (fun name e ->
+            match lookup e.word with
+            | Some w -> e.word <- w
+            | None -> dead := name :: !dead)
+          table;
+        List.iter (Hashtbl.remove table) !dead)
+  in
+  { heap; table; scanner_id }
+
+let dispose t = Heap.remove_weak_scanner t.heap t.scanner_id
+
+(** Intern [name]: return the existing symbol or create one. *)
+let intern t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e -> e.word
+  | None ->
+      let s = Obj.string_of_ocaml t.heap name in
+      let sym = Obj.make_symbol t.heap ~name:s in
+      Hashtbl.add t.table name { word = sym };
+      sym
+
+let mem t name = Hashtbl.mem t.table name
+let count t = Hashtbl.length t.table

@@ -1,0 +1,15 @@
+(** Symbol interning with a weakly-held oblist.
+
+    [intern] returns the same symbol object for the same name while that
+    symbol is otherwise reachable; the table itself holds its symbols
+    weakly, so unreferenced symbols are reclaimed and their entries
+    dropped — the Friedman–Wise oblist-entry elimination the paper mentions
+    Chez Scheme implements. *)
+
+type t
+
+val create : Heap.t -> t
+val dispose : t -> unit
+val intern : t -> string -> Word.t
+val mem : t -> string -> bool
+val count : t -> int

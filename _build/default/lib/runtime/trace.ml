@@ -1,0 +1,85 @@
+(** Collection tracing: a bounded ring of per-collection records for
+    diagnosis and reporting (the REPL's [gc-history], the [--gc-stats]
+    flag, tests asserting collection behaviour over time).
+
+    Attach with {!attach}; every collection then appends one record.  The
+    ring keeps the most recent [capacity] records. *)
+
+type record = {
+  ordinal : int;  (** 1-based collection count at the time *)
+  generation : int;  (** oldest generation collected *)
+  words_copied : int;
+  objects_copied : int;
+  entries_visited : int;
+  resurrections : int;
+  weak_broken : int;
+  ephemerons_broken : int;
+  live_words_after : int;
+}
+
+type t = {
+  heap : Heap.t;
+  ring : record option array;
+  mutable next : int;  (** slot for the next record *)
+  mutable total : int;
+  hook_id : int;
+}
+
+let attach ?(capacity = 64) heap =
+  if capacity <= 0 then invalid_arg "Trace.attach: capacity";
+  let t_ref = ref None in
+  let hook_id =
+    Heap.add_post_gc_hook heap (fun h ->
+        match !t_ref with
+        | None -> ()
+        | Some t ->
+            let s = (Heap.stats h).Stats.last in
+            let r =
+              {
+                ordinal = (Heap.stats h).Stats.total.Stats.collections;
+                generation = h.Heap.last_gc_generation;
+                words_copied = s.Stats.words_copied;
+                objects_copied = s.Stats.objects_copied;
+                entries_visited = s.Stats.protected_entries_visited;
+                resurrections = s.Stats.guardian_resurrections;
+                weak_broken = s.Stats.weak_pointers_broken;
+                ephemerons_broken = s.Stats.ephemerons_broken;
+                live_words_after = Heap.live_words h;
+              }
+            in
+            t.ring.(t.next) <- Some r;
+            t.next <- (t.next + 1) mod Array.length t.ring;
+            t.total <- t.total + 1)
+  in
+  let t =
+    { heap; ring = Array.make capacity None; next = 0; total = 0; hook_id }
+  in
+  t_ref := Some t;
+  t
+
+let detach t = Heap.remove_post_gc_hook t.heap t.hook_id
+
+(** Records currently retained, oldest first. *)
+let records t =
+  let n = Array.length t.ring in
+  let out = ref [] in
+  (* Slot [next + i] holds the (i+1)-th oldest retained record; walking i
+     downward and prepending yields oldest-first. *)
+  for i = n - 1 downto 0 do
+    match t.ring.((t.next + i) mod n) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  !out
+
+let total_recorded t = t.total
+
+let pp_record ppf r =
+  Format.fprintf ppf
+    "#%d: copied %d words (%d objects), guardian entries %d, resurrected %d, \
+     weak broken %d, ephemerons broken %d, live %d"
+    r.ordinal r.words_copied r.objects_copied r.entries_visited r.resurrections
+    r.weak_broken r.ephemerons_broken r.live_words_after
+
+let pp ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (records t)

@@ -1,0 +1,28 @@
+(** Collection tracing: a bounded ring of per-collection records. *)
+
+type record = {
+  ordinal : int;
+  generation : int;  (** oldest generation collected *)
+  words_copied : int;
+  objects_copied : int;
+  entries_visited : int;
+  resurrections : int;
+  weak_broken : int;
+  ephemerons_broken : int;
+  live_words_after : int;
+}
+
+type t
+
+val attach : ?capacity:int -> Heap.t -> t
+(** Start recording; every collection appends one record, keeping the most
+    recent [capacity] (default 64). *)
+
+val detach : t -> unit
+
+val records : t -> record list
+(** Oldest first. *)
+
+val total_recorded : t -> int
+val pp_record : Format.formatter -> record -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,3 @@
+(** Wall-clock time in nanoseconds, for collection pause reporting. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9

@@ -1,0 +1,3 @@
+(** Wall-clock time, for collection pause reporting. *)
+
+val now_ns : unit -> float

@@ -1,0 +1,22 @@
+(** Weak pairs (paper Sections 2 and 4).
+
+    A weak pair is an ordinary pair except that its car is a weak pointer:
+    the collector does not trace it, and if the car's referent is reclaimed
+    the car is replaced with [#f].  Weak pairs answer [true] to [pair?] and
+    are manipulated with the ordinary list operations; they are
+    distinguished only by living in the weak-pair space.
+
+    The weak pass runs {e after} the guardian pass, so a weak pointer to an
+    object saved by a guardian is not broken — the interaction that makes
+    guarded hash tables and transport guardians work. *)
+
+let cons = Obj.weak_cons
+let is_weak_pair = Obj.is_weak_pair
+let car = Obj.car
+let cdr = Obj.cdr
+let set_car = Obj.set_car
+let set_cdr = Obj.set_cdr
+
+(** True when the car has been broken by the collector.  (Indistinguishable
+    from a car that was set to [#f] by the program, as in the paper.) *)
+let broken h w = Word.is_false (Obj.car h w)

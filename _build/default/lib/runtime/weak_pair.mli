@@ -1,0 +1,23 @@
+(** Weak pairs (paper Sections 2 and 4).
+
+    A weak pair is an ordinary pair except that its car is a weak pointer:
+    the collector does not trace it, and if the car's referent is reclaimed
+    the car is replaced with [#f].  Weak pairs answer [true] to [pair?] and
+    are manipulated with the ordinary pair operations; they are
+    distinguished only by living in the weak-pair space.
+
+    The weak pass runs {e after} the guardian pass, so a weak pointer to an
+    object saved by a guardian is not broken. *)
+
+val cons : Heap.t -> Word.t -> Word.t -> Word.t
+(** [cons h car cdr]: car weak, cdr strong. *)
+
+val is_weak_pair : Heap.t -> Word.t -> bool
+val car : Heap.t -> Word.t -> Word.t
+val cdr : Heap.t -> Word.t -> Word.t
+val set_car : Heap.t -> Word.t -> Word.t -> unit
+val set_cdr : Heap.t -> Word.t -> Word.t -> unit
+
+val broken : Heap.t -> Word.t -> bool
+(** True when the car has been broken by the collector (indistinguishable
+    from a car the program set to [#f], as in the paper). *)

@@ -1,0 +1,1 @@
+lib/scheme/compile.ml: Array Format Gbc_runtime Instr List Option Printf Set Sexpr String Word

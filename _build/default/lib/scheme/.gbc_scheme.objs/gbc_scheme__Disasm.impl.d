@@ -1,0 +1,1 @@
+lib/scheme/disasm.ml: Array Format Gbc_runtime Instr List Machine Printf

@@ -1,0 +1,1 @@
+lib/scheme/instr.ml: Format

@@ -1,0 +1,1 @@
+lib/scheme/machine.ml: Array Buffer Compile Format Fun Gbc Gbc_runtime Hashtbl Heap Instr List Obj Option Printer Reader Runtime Sexpr String Symtab Trace Vec Word

@@ -1,0 +1,1 @@
+lib/scheme/machine.mli: Compile Config Format Gbc Gbc_runtime Heap Instr Sexpr Symtab Trace Word

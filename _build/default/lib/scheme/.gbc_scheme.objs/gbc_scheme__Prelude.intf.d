@@ -1,0 +1,1 @@
+lib/scheme/prelude.mli:

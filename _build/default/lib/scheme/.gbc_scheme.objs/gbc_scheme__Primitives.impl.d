@@ -1,0 +1,1 @@
+lib/scheme/primitives.ml: Array Char Collector Disasm Fun Gbc Gbc_runtime Gbc_vfs Guardian Heap List Machine Obj Printer Printf Reader Runtime Stats String Symtab Trace Word

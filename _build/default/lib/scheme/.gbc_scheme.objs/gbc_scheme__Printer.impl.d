@@ -1,0 +1,1 @@
+lib/scheme/printer.ml: Buffer Gbc_runtime Hashtbl Obj Printf String Word

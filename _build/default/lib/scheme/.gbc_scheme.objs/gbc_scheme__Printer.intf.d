@@ -1,0 +1,1 @@
+lib/scheme/printer.mli: Buffer Gbc_runtime Heap Word

@@ -1,0 +1,1 @@
+lib/scheme/reader.ml: Array Lexer List Sexpr String

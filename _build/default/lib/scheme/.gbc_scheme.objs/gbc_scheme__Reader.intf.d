@@ -1,0 +1,1 @@
+lib/scheme/reader.mli: Sexpr

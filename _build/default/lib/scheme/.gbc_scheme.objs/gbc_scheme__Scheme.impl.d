@@ -1,0 +1,1 @@
+lib/scheme/scheme.ml: Compile Instr Lexer Machine Prelude Primitives Printer Reader Sexpr

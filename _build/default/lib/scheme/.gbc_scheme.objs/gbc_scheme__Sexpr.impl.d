@@ -1,0 +1,1 @@
+lib/scheme/sexpr.ml: Array Format Option

@@ -1,0 +1,60 @@
+(** Bytecode for the stack VM.
+
+    Flat-closure model: a closure captures the values (or boxes, for
+    assigned variables) of its free variables; locals live in the value
+    stack frame.  [case-lambda] closures carry several clauses sharing one
+    free-variable list; calls dispatch on argument count. *)
+
+type instr =
+  | Const of int  (** constants table index -> acc *)
+  | Imm of int  (** raw immediate/fixnum word -> acc *)
+  | Local_ref of int  (** acc := stack[fp + i] (raw slot: value or box) *)
+  | Free_ref of int  (** acc := closure free var i (raw) *)
+  | Unbox  (** acc := box-ref acc *)
+  | Local_set_box of int  (** box-set! stack[fp+i] acc *)
+  | Free_set_box of int
+  | Global_ref of int  (** acc := global cell (error if unbound) *)
+  | Global_set of int  (** cell := acc (error if unbound) *)
+  | Global_define of int  (** cell := acc *)
+  | Push
+  | Box_local of int  (** stack[fp+i] := box(stack[fp+i]): clause prologue *)
+  | Make_closure of { code_id : int; nfree : int }
+      (** capture top [nfree] stack words (popped) as free vars *)
+  | Branch_false of int  (** jump to index if acc is #f *)
+  | Jump of int
+  | Call of int  (** operator in acc, n args on stack *)
+  | Tail_call of int
+  | Return
+  | Halt
+
+type clause = {
+  required : int;  (** required parameter count *)
+  rest : bool;  (** accepts extra args collected into a list *)
+  instrs : instr array;
+}
+
+type code = {
+  name : string;  (** for error messages and disassembly *)
+  clauses : clause list;  (** one for [lambda], several for [case-lambda] *)
+}
+
+let pp_instr ppf = function
+  | Const i -> Format.fprintf ppf "const %d" i
+  | Imm w -> Format.fprintf ppf "imm %d" w
+  | Local_ref i -> Format.fprintf ppf "local %d" i
+  | Free_ref i -> Format.fprintf ppf "free %d" i
+  | Unbox -> Format.pp_print_string ppf "unbox"
+  | Local_set_box i -> Format.fprintf ppf "local-set-box %d" i
+  | Free_set_box i -> Format.fprintf ppf "free-set-box %d" i
+  | Global_ref i -> Format.fprintf ppf "global %d" i
+  | Global_set i -> Format.fprintf ppf "global-set %d" i
+  | Global_define i -> Format.fprintf ppf "global-define %d" i
+  | Push -> Format.pp_print_string ppf "push"
+  | Box_local i -> Format.fprintf ppf "box-local %d" i
+  | Make_closure { code_id; nfree } -> Format.fprintf ppf "closure %d/%d" code_id nfree
+  | Branch_false i -> Format.fprintf ppf "brf %d" i
+  | Jump i -> Format.fprintf ppf "jmp %d" i
+  | Call n -> Format.fprintf ppf "call %d" n
+  | Tail_call n -> Format.fprintf ppf "tailcall %d" n
+  | Return -> Format.pp_print_string ppf "ret"
+  | Halt -> Format.pp_print_string ppf "halt"

@@ -1,0 +1,30 @@
+(** Tokenizer for Scheme source. *)
+
+exception Error of string
+
+type token =
+  | LPAREN
+  | RPAREN
+  | QUOTE
+  | QUASIQUOTE
+  | UNQUOTE
+  | UNQUOTE_SPLICING
+  | VECTOR_OPEN
+  | DOT
+  | BOOL of bool
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | SYMBOL of string
+  | EOF
+
+type t
+
+val create : string -> t
+
+val next : t -> token
+(** @raise Error on malformed input. *)
+
+val token_start : t -> int
+(** Source offset at which the most recently returned token began. *)

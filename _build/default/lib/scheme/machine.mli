@@ -1,0 +1,105 @@
+(** The stack VM executing {!Instr} code over the simulated heap.
+
+    All VM state that can reference heap objects — the value stack, the
+    accumulator, the current closure, saved closures in control frames, the
+    constants table — is registered as a root scanner, so a collection can
+    safely happen at any safepoint (the beginning of every call).  The
+    collect-request handler, if installed from Scheme, is invoked
+    re-entrantly through {!apply_closure}. *)
+
+open Gbc_runtime
+
+exception Error of string
+(** A Scheme-level error (wrong types, arity, unbound variables, the
+    [error] primitive).  The machine may be left mid-activation; call
+    {!reset} before reusing it interactively. *)
+
+exception Exit_signal
+(** Raised by the [exit] primitive. *)
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type t
+
+val create : ?ctx:Gbc.Ctx.t -> ?config:Config.t -> unit -> t
+(** A bare machine: no primitives, no prelude (use {!Scheme.create} for a
+    ready system). *)
+
+val dispose : t -> unit
+
+val heap : t -> Heap.t
+
+(** The machine's collection trace ring (128 records). *)
+val trace : t -> Trace.t option
+val ctx : t -> Gbc.Ctx.t
+val symtab : t -> Symtab.t
+
+(** {1 Console} *)
+
+val console_output : t -> string
+val clear_console : t -> unit
+
+val set_echo : t -> bool -> unit
+(** Also write console output to stdout. *)
+
+val print_string : t -> string -> unit
+
+(** {1 Globals, constants, code} *)
+
+val global_cell : t -> string -> int
+(** Root cell of a global variable, created unbound on first use. *)
+
+val global_name : t -> int -> string
+val define_global : t -> string -> Word.t -> unit
+val lookup_global : t -> string -> Word.t option
+
+val materialize : t -> Sexpr.t -> Word.t
+(** Build a heap value from external data (interning symbols). *)
+
+val linker : t -> Compile.linker
+
+val code : t -> int -> Instr.code
+(** Code block by id (for the disassembler). *)
+
+(** {1 Procedures} *)
+
+val is_procedure : t -> Word.t -> bool
+
+val define_prim :
+  t ->
+  name:string ->
+  arity_min:int ->
+  ?arity_max:int ->
+  (t -> Word.t array -> Word.t) ->
+  unit
+(** Register a primitive bound to its global name.  [arity_max] defaults to
+    [arity_min]; -1 means variadic.  Primitive bodies must not trigger
+    collections. *)
+
+val in_handler : t -> bool
+val set_in_handler : t -> bool -> unit
+
+val apply_closure : t -> Word.t -> Word.t list -> Word.t
+(** Call a Scheme closure from OCaml (used by the collect-request handler
+    bridge).  Re-entrant: saves and restores the register file via the
+    rooted value stack. *)
+
+val call_with_error_handler : t -> thunk:Word.t -> handler:Word.t -> Word.t
+(** Run [thunk] (a zero-argument closure); if a Scheme error escapes,
+    restore the register file and apply [handler] to the error message (a
+    heap string).  Backs the [with-error-handler] primitive. *)
+
+(** {1 Evaluation} *)
+
+val run_code : t -> Instr.code -> Word.t
+
+val eval_datum : t -> Sexpr.t -> Word.t
+(** Compile and run one top-level form; the returned word is valid until
+    the next collection. *)
+
+val eval_string : t -> string -> Word.t
+(** Evaluate every form in the source, returning the last result. *)
+
+val reset : t -> unit
+(** Discard in-flight activation state (after an error escaped the
+    interpreter loop, e.g. in a REPL). *)

@@ -1,0 +1,5 @@
+(** The Scheme prelude: library procedures defined in Scheme itself,
+    including the paper's user-level guardian interface (guardians are
+    procedures) and the paper's transport-guardian code, verbatim. *)
+
+val source : string

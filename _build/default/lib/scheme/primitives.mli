@@ -1,0 +1,5 @@
+(** The primitive procedures of the Scheme system. *)
+
+val install : Machine.t -> unit
+(** Define every primitive as a global binding in the machine.  Primitives
+    never trigger collections, so they may work with raw argument words. *)

@@ -1,0 +1,134 @@
+(** Printing heap values, with shared-structure (datum) labels.
+
+    Shared and cyclic structure is rendered with [#n=]/[#n#] labels.  The
+    occurrence analysis uses an OCaml hash table keyed on word identity —
+    valid because printing performs no heap allocation, so no collection can
+    move anything mid-print. *)
+
+open Gbc_runtime
+
+let char_name c =
+  match c with
+  | ' ' -> "space"
+  | '\n' -> "newline"
+  | '\t' -> "tab"
+  | '\r' -> "return"
+  | '\000' -> "nul"
+  | c -> String.make 1 c
+
+let print ?(display = false) h buf w =
+  (* Pass 1: find nodes reachable more than once. *)
+  let seen = Hashtbl.create 16 in
+  let shared = Hashtbl.create 4 in
+  let rec scan w =
+    if Word.is_pair_ptr w || (Word.is_typed_ptr w && Obj.is_vector h w) then begin
+      if Hashtbl.mem seen w then Hashtbl.replace shared w None
+      else begin
+        Hashtbl.add seen w ();
+        if Word.is_pair_ptr w then begin
+          scan (Obj.car h w);
+          scan (Obj.cdr h w)
+        end
+        else
+          for i = 0 to Obj.vector_length h w - 1 do
+            scan (Obj.vector_ref h w i)
+          done
+      end
+    end
+  in
+  scan w;
+  let next_label = ref 0 in
+  let add s = Buffer.add_string buf s in
+  (* Emit a label definition for [w] if shared; true = already printed. *)
+  let check_shared w =
+    match Hashtbl.find_opt shared w with
+    | None -> false
+    | Some (Some n) ->
+        add (Printf.sprintf "#%d#" n);
+        true
+    | Some None ->
+        let n = !next_label in
+        incr next_label;
+        Hashtbl.replace shared w (Some n);
+        add (Printf.sprintf "#%d=" n);
+        false
+  in
+  let rec go w =
+    if Word.is_fixnum w then add (string_of_int (Word.to_fixnum w))
+    else if Word.is_nil w then add "()"
+    else if Word.is_false w then add "#f"
+    else if Word.is_true w then add "#t"
+    else if Word.is_char w then
+      if display then Buffer.add_char buf (Word.to_char w)
+      else add ("#\\" ^ char_name (Word.to_char w))
+    else if Word.equal w Word.eof then add "#<eof>"
+    else if Word.equal w Word.void then add "#<void>"
+    else if Word.equal w Word.unbound then add "#<unbound>"
+    else if Word.is_pair_ptr w then begin
+      if not (check_shared w) then begin
+        if Obj.is_weak_pair h w then add "#<weak ";
+        add "(";
+        go (Obj.car h w);
+        let rec tail d =
+          if Word.is_nil d then ()
+          else if Word.is_pair_ptr d && not (Hashtbl.mem shared d) then begin
+            add " ";
+            go (Obj.car h d);
+            tail (Obj.cdr h d)
+          end
+          else begin
+            add " . ";
+            go d
+          end
+        in
+        tail (Obj.cdr h w);
+        add ")";
+        if Obj.is_weak_pair h w then add ">"
+      end
+    end
+    else if Word.is_typed_ptr w then begin
+      let code = Obj.typed_code h w in
+      if code = Obj.code_string then
+        if display then add (Obj.string_to_ocaml h w)
+        else add (Printf.sprintf "%S" (Obj.string_to_ocaml h w))
+      else if code = Obj.code_symbol then add (Obj.symbol_name_string h w)
+      else if code = Obj.code_vector then begin
+        if not (check_shared w) then begin
+          add "#(";
+          for i = 0 to Obj.vector_length h w - 1 do
+            if i > 0 then add " ";
+            go (Obj.vector_ref h w i)
+          done;
+          add ")"
+        end
+      end
+      else if code = Obj.code_flonum then begin
+        let f = Obj.flonum_value h w in
+        let s = Printf.sprintf "%.12g" f in
+        add (if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s else s ^ ".")
+      end
+      else if code = Obj.code_box then begin
+        add "#&";
+        go (Obj.box_ref h w)
+      end
+      else if code = Obj.code_closure then add "#<procedure>"
+      else if code = Obj.code_port then add "#<port>"
+      else if code = Obj.code_guardian then add "#<guardian>"
+      else if code = Obj.code_bytevector then begin
+        add "#vu8(";
+        for i = 0 to Obj.bytevector_length h w - 1 do
+          if i > 0 then add " ";
+          add (string_of_int (Obj.bytevector_ref h w i))
+        done;
+        add ")"
+      end
+      else add (Printf.sprintf "#<%s>" (Obj.type_name code))
+    end
+    else add "#<unknown>"
+  in
+  go w
+
+let to_string ?display h w =
+  let buf = Buffer.create 64 in
+  print ?display h buf w;
+  Buffer.contents buf

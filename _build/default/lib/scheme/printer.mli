@@ -1,0 +1,12 @@
+(** Printing heap values, with shared-structure ([#n=]/[#n#]) labels.
+
+    Printing performs no heap allocation, so word identity is stable for
+    the duration of a print. *)
+
+open Gbc_runtime
+
+val print : ?display:bool -> Heap.t -> Buffer.t -> Word.t -> unit
+(** [display] renders strings and characters without escapes ([display]
+    vs. [write]). *)
+
+val to_string : ?display:bool -> Heap.t -> Word.t -> string

@@ -1,0 +1,114 @@
+(** The reader: tokens to {!Sexpr.t} data. *)
+
+exception Error of string
+
+let sym s = Sexpr.Sym s
+
+type t = { lexer : Lexer.t; mutable tok : Lexer.token }
+
+let create src =
+  let lexer = Lexer.create src in
+  { lexer; tok = Lexer.next lexer }
+
+let advance t = t.tok <- Lexer.next t.lexer
+
+let rec read_datum t =
+  match t.tok with
+  | Lexer.EOF -> None
+  | _ -> Some (datum t)
+
+and datum t =
+  match t.tok with
+  | Lexer.EOF -> raise (Error "unexpected end of input")
+  | Lexer.LPAREN ->
+      advance t;
+      list_tail t
+  | Lexer.RPAREN -> raise (Error "unexpected )")
+  | Lexer.DOT -> raise (Error "unexpected .")
+  | Lexer.QUOTE ->
+      advance t;
+      Sexpr.list_of [ sym "quote"; datum t ]
+  | Lexer.QUASIQUOTE ->
+      advance t;
+      Sexpr.list_of [ sym "quasiquote"; datum t ]
+  | Lexer.UNQUOTE ->
+      advance t;
+      Sexpr.list_of [ sym "unquote"; datum t ]
+  | Lexer.UNQUOTE_SPLICING ->
+      advance t;
+      Sexpr.list_of [ sym "unquote-splicing"; datum t ]
+  | Lexer.VECTOR_OPEN ->
+      advance t;
+      let rec elems acc =
+        match t.tok with
+        | Lexer.RPAREN ->
+            advance t;
+            Sexpr.Vector (Array.of_list (List.rev acc))
+        | Lexer.EOF -> raise (Error "unterminated vector")
+        | _ -> elems (datum t :: acc)
+      in
+      elems []
+  | Lexer.BOOL b ->
+      advance t;
+      Sexpr.Bool b
+  | Lexer.INT n ->
+      advance t;
+      Sexpr.Int n
+  | Lexer.FLOAT f ->
+      advance t;
+      Sexpr.Float f
+  | Lexer.CHAR c ->
+      advance t;
+      Sexpr.Char c
+  | Lexer.STRING s ->
+      advance t;
+      Sexpr.Str s
+  | Lexer.SYMBOL s ->
+      advance t;
+      Sexpr.Sym s
+
+and list_tail t =
+  match t.tok with
+  | Lexer.RPAREN ->
+      advance t;
+      Sexpr.Null
+  | Lexer.DOT ->
+      advance t;
+      let tail = datum t in
+      (match t.tok with
+      | Lexer.RPAREN ->
+          advance t;
+          tail
+      | _ -> raise (Error "expected ) after dotted tail"))
+  | Lexer.EOF -> raise (Error "unterminated list")
+  | _ ->
+      let head = datum t in
+      Sexpr.Pair (head, list_tail t)
+
+(** All data in [src]. *)
+let read_all src =
+  try
+    let t = create src in
+    let rec loop acc =
+      match read_datum t with None -> List.rev acc | Some d -> loop (d :: acc)
+    in
+    loop []
+  with Lexer.Error msg -> raise (Error msg)
+
+(** One leading datum, with the number of characters it consumed (the
+    offset where the following token begins) — the basis of the Scheme
+    [read] primitive over ports.  [None] when the input holds no datum. *)
+let read_prefix src =
+  try
+    let t = create src in
+    match read_datum t with
+    | None -> (None, String.length src)
+    | Some d -> (Some d, Lexer.token_start t.lexer)
+  with Lexer.Error msg -> raise (Error msg)
+
+(** Exactly one datum. *)
+let read_one src =
+  match read_all src with
+  | [ d ] -> d
+  | [] -> raise (Error "no datum")
+  | _ -> raise (Error "more than one datum")

@@ -1,0 +1,15 @@
+(** The reader: source text to {!Sexpr.t} data. *)
+
+exception Error of string
+
+val read_all : string -> Sexpr.t list
+(** All data in the source.
+    @raise Error on malformed input (lexical errors included). *)
+
+val read_one : string -> Sexpr.t
+(** Exactly one datum.
+    @raise Error otherwise. *)
+
+val read_prefix : string -> Sexpr.t option * int
+(** One leading datum and the number of characters consumed; [None] when
+    the input holds no datum.  The basis of the [read] primitive. *)

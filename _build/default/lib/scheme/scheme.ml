@@ -1,0 +1,31 @@
+(** Façade: building a ready-to-use Scheme system.
+
+    {[
+      let m = Scheme.create ()
+      let _ = Scheme.eval m "(define G (make-guardian))"
+    ]} *)
+
+module Sexpr = Sexpr
+module Lexer = Lexer
+module Reader = Reader
+module Instr = Instr
+module Compile = Compile
+module Machine = Machine
+module Printer = Printer
+module Primitives = Primitives
+
+(** A machine with primitives and the prelude installed. *)
+let create ?ctx ?config () =
+  let m = Machine.create ?ctx ?config () in
+  Primitives.install m;
+  ignore (Machine.eval_string m Prelude.source);
+  m
+
+(** Evaluate [src] and return the last form's value as a printed string. *)
+let eval m src = Printer.to_string (Machine.heap m) (Machine.eval_string m src)
+
+(** Evaluate [src] for effect; return console output produced. *)
+let eval_output m src =
+  Machine.clear_console m;
+  ignore (Machine.eval_string m src);
+  Machine.console_output m

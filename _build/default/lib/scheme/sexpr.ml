@@ -1,0 +1,59 @@
+(** External representation of Scheme data: what the reader produces and the
+    compiler consumes.  Heap values are materialized from these by
+    {!Machine.materialize} when quoted. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Char of char
+  | Str of string
+  | Sym of string
+  | Pair of t * t
+  | Vector of t array
+
+let rec list_of = function
+  | [] -> Null
+  | x :: rest -> Pair (x, list_of rest)
+
+(** Proper-list view: [Some elements] if [t] is a proper list. *)
+let rec to_list = function
+  | Null -> Some []
+  | Pair (a, d) -> Option.map (fun rest -> a :: rest) (to_list d)
+  | _ -> None
+
+let rec pp ppf t =
+  let open Format in
+  match t with
+  | Null -> pp_print_string ppf "()"
+  | Bool true -> pp_print_string ppf "#t"
+  | Bool false -> pp_print_string ppf "#f"
+  | Int n -> pp_print_int ppf n
+  | Float f -> pp_print_float ppf f
+  | Char ' ' -> pp_print_string ppf "#\\space"
+  | Char '\n' -> pp_print_string ppf "#\\newline"
+  | Char c -> fprintf ppf "#\\%c" c
+  | Str s -> fprintf ppf "%S" s
+  | Sym s -> pp_print_string ppf s
+  | Vector els ->
+      pp_print_string ppf "#(";
+      Array.iteri (fun i e -> if i > 0 then pp_print_char ppf ' '; pp ppf e) els;
+      pp_print_char ppf ')'
+  | Pair _ ->
+      pp_print_char ppf '(';
+      let rec loop t first =
+        match t with
+        | Pair (a, d) ->
+            if not first then pp_print_char ppf ' ';
+            pp ppf a;
+            loop d false
+        | Null -> ()
+        | other ->
+            pp_print_string ppf " . ";
+            pp ppf other
+      in
+      loop t true;
+      pp_print_char ppf ')'
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Array Buffer Hashtbl String

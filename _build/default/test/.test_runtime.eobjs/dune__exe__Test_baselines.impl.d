@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Collector Config Gbc_baselines Gbc_runtime Handle Heap List Obj Option Word

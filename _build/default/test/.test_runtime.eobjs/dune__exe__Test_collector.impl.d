@@ -1,0 +1,1 @@
+test/test_collector.ml: Alcotest Collector Config Fun Gbc_runtime Heap List Obj QCheck QCheck_alcotest Runtime Stats Verify Word

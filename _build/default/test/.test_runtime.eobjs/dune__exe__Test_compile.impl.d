@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Compile Format Gbc_runtime Gbc_scheme Hashtbl Instr Lazy List Machine Reader Scheme String Word

@@ -1,0 +1,1 @@
+test/test_compiler_diff.ml: Alcotest Char Gbc_runtime Gbc_scheme Lazy List Option Printf QCheck QCheck_alcotest String

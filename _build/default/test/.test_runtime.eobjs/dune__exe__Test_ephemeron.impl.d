@@ -1,0 +1,1 @@
+test/test_ephemeron.ml: Alcotest Collector Config Ephemeron Gbc_runtime Guardian Handle Heap List Obj Option QCheck QCheck_alcotest Stats Verify Weak_pair Word

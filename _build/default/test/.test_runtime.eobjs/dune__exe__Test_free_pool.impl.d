@@ -1,0 +1,1 @@
+test/test_free_pool.ml: Alcotest Collector Config Gbc Gbc_runtime Handle Heap Obj Word

@@ -1,0 +1,1 @@
+test/test_guardian.ml: Alcotest Collector Config Fun Gbc_runtime Guardian Handle Heap List Obj Option QCheck QCheck_alcotest Stats Word

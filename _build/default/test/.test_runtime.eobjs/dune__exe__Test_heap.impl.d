@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Collector Config Gbc_runtime Handle Heap List Obj Printf QCheck QCheck_alcotest Space Word

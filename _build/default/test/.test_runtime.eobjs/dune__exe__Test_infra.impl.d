@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Census Collector Config Ephemeron Gbc_runtime Guardian Handle Heap List Obj Stats Trace Verify Weak_pair Word

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Census Collector Config Fun Gbc_runtime Guardian Handle Hashtbl Heap List Obj Printf QCheck QCheck_alcotest Random String Verify Word

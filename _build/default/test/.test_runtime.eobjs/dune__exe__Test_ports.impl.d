@@ -1,0 +1,1 @@
+test/test_ports.ml: Alcotest Char Collector Config Gbc Gbc_runtime Gbc_vfs Handle Heap Obj Printf Runtime Stats String Word

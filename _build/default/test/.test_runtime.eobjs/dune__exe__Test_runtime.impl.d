@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Collector Gbc_runtime Guardian Heap List Obj Stats Weak_pair Word

@@ -1,0 +1,1 @@
+test/test_scheme_eval.ml: Alcotest Compile Config Gbc_runtime Gbc_scheme Heap Lazy List Machine Scheme Stats String

@@ -1,0 +1,1 @@
+test/test_scheme_files.ml: Alcotest Filename Gbc_scheme Machine Scheme Sys

@@ -1,0 +1,1 @@
+test/test_scheme_guardians.ml: Alcotest Gbc Gbc_runtime Gbc_scheme Machine Scheme

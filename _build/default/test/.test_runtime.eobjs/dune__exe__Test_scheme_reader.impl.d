@@ -1,0 +1,1 @@
+test/test_scheme_reader.ml: Alcotest Array Gbc_runtime Gbc_scheme Heap List Obj Printer QCheck QCheck_alcotest Reader Sexpr Word

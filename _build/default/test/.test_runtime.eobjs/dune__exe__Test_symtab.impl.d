@@ -1,0 +1,1 @@
+test/test_symtab.ml: Alcotest Collector Gbc_runtime Handle Heap List Obj Printf QCheck QCheck_alcotest Symtab Word

@@ -1,0 +1,1 @@
+test/test_table_props.ml: Alcotest Collector Config Gbc Gbc_runtime Handle Hashtbl Heap List Obj Printf QCheck QCheck_alcotest String Word

@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Collector Config Gbc Gbc_runtime Handle Heap List Obj Option Word

@@ -1,0 +1,1 @@
+test/test_tconc.ml: Alcotest Collector Gbc_runtime Handle Heap List Obj Option Printf QCheck QCheck_alcotest Queue Tconc Word

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Gbc_vfs List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_weak.ml: Alcotest Collector Config Gbc_runtime Guardian Handle Heap List Obj Option QCheck QCheck_alcotest Stats Weak_pair Word

@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Char Fun Gbc_runtime List QCheck QCheck_alcotest Word

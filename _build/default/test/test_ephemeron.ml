@@ -1,0 +1,225 @@
+(* Ephemeron pairs: conditional weakness (extension beyond the paper,
+   following later Chez Scheme).  The headline property: a value that
+   references its own key leaks with a weak pair but collapses with an
+   ephemeron. *)
+
+open Gbc_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = Config.v ~segment_words:128 ~max_generation:3 ()
+let heap () = Heap.create ~config:cfg ()
+let fx = Word.of_fixnum
+let full_collect h = ignore (Collector.collect h ~gen:(Heap.max_generation h))
+
+let test_basic_types () =
+  let h = heap () in
+  let e = Ephemeron.cons h (fx 1) (fx 2) in
+  check "ephemeron?" true (Ephemeron.is_ephemeron h e);
+  check "not weak pair" false (Obj.is_weak_pair h e);
+  check "not plain pair" false (Obj.is_pair h e);
+  check "pair tag" true (Word.is_pair_ptr e);
+  check_int "key" 1 (Word.to_fixnum (Ephemeron.key h e));
+  check_int "value" 2 (Word.to_fixnum (Ephemeron.value h e))
+
+let test_live_key_keeps_value () =
+  let h = heap () in
+  let key = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  let payload = Obj.cons h (fx 99) Word.nil in
+  let e = Handle.create h (Ephemeron.cons h (Handle.get key) payload) in
+  full_collect h;
+  Verify.check_exn h;
+  let e' = Handle.get e in
+  check "intact" false (Ephemeron.broken h e');
+  check "key updated" true (Word.equal (Ephemeron.key h e') (Handle.get key));
+  check_int "value traced" 99 (Word.to_fixnum (Obj.car h (Ephemeron.value h e')));
+  Handle.free key;
+  Handle.free e
+
+let test_dead_key_breaks_both () =
+  let h = heap () in
+  let e =
+    Handle.create h
+      (Ephemeron.cons h (Obj.cons h (fx 1) Word.nil) (Obj.cons h (fx 2) Word.nil))
+  in
+  full_collect h;
+  Verify.check_exn h;
+  check "broken" true (Ephemeron.broken h (Handle.get e));
+  check "key is #f" true (Word.is_false (Ephemeron.key h (Handle.get e)));
+  check "value is #f" true (Word.is_false (Ephemeron.value h (Handle.get e)));
+  Handle.free e
+
+let test_value_does_not_retain () =
+  (* The value must not keep anything alive when the key is dead. *)
+  let h = heap () in
+  let baseline = Heap.live_words h in
+  let e =
+    Handle.create h
+      (Ephemeron.cons h (Obj.cons h (fx 1) Word.nil)
+         (Obj.make_vector h ~len:100 ~init:Word.nil))
+  in
+  full_collect h;
+  check "value reclaimed" true (Heap.live_words h < baseline + 20);
+  Handle.free e
+
+let test_self_referential_value () =
+  (* THE ephemeron property: value references its own key.  A weak pair
+     keeps the key alive forever; an ephemeron collapses. *)
+  let h = heap () in
+  let key = Obj.cons h (fx 7) Word.nil in
+  let value_mentioning_key = Obj.cons h key Word.nil in
+  let eph = Handle.create h (Ephemeron.cons h key value_mentioning_key) in
+  (* Same shape with a weak pair, for contrast. *)
+  let key2 = Obj.cons h (fx 8) Word.nil in
+  let value2 = Obj.cons h key2 Word.nil in
+  let weak = Handle.create h (Weak_pair.cons h key2 value2) in
+  full_collect h;
+  Verify.check_exn h;
+  check "ephemeron collapsed" true (Ephemeron.broken h (Handle.get eph));
+  (* The weak pair's strong cdr kept key2 alive: its weak car is intact. *)
+  check "weak pair leaks" false (Weak_pair.broken h (Handle.get weak));
+  check_int "leaked key still there" 8
+    (Word.to_fixnum (Obj.car h (Weak_pair.car h (Handle.get weak))));
+  Handle.free eph;
+  Handle.free weak
+
+let test_chained_ephemerons () =
+  (* e1: k1 -> k2;  e2: k2 -> payload.  k2 is reachable only through e1's
+     value, so e2 lives exactly as long as k1. *)
+  let h = heap () in
+  let k1 = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  let k2 = Obj.cons h (fx 2) Word.nil in
+  let e2 = Handle.create h (Ephemeron.cons h k2 (Obj.cons h (fx 22) Word.nil)) in
+  let e1 = Handle.create h (Ephemeron.cons h (Handle.get k1) k2) in
+  full_collect h;
+  Verify.check_exn h;
+  check "e1 intact" false (Ephemeron.broken h (Handle.get e1));
+  check "e2 intact (key live via e1's value)" false (Ephemeron.broken h (Handle.get e2));
+  check_int "payload" 22 (Word.to_fixnum (Obj.car h (Ephemeron.value h (Handle.get e2))));
+  (* Drop k1: the whole chain collapses. *)
+  Handle.free k1;
+  full_collect h;
+  check "e1 broken" true (Ephemeron.broken h (Handle.get e1));
+  check "e2 broken" true (Ephemeron.broken h (Handle.get e2));
+  Handle.free e1;
+  Handle.free e2
+
+let test_guardian_saved_key_counts_as_reachable () =
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  let key = Obj.cons h (fx 5) Word.nil in
+  Guardian.register h (Handle.get g) key;
+  let e = Handle.create h (Ephemeron.cons h key (Obj.cons h (fx 50) Word.nil)) in
+  full_collect h;
+  Verify.check_exn h;
+  (* The guardian saved the key, so the ephemeron must be intact and its
+     key field must point at the saved object. *)
+  check "intact" false (Ephemeron.broken h (Handle.get e));
+  let saved = Option.get (Guardian.retrieve h (Handle.get g)) in
+  check "key eq saved" true (Word.equal saved (Ephemeron.key h (Handle.get e)));
+  check_int "value traced" 50 (Word.to_fixnum (Obj.car h (Ephemeron.value h (Handle.get e))));
+  (* Once the saved key is dropped for real, the ephemeron breaks. *)
+  full_collect h;
+  check "broken after real death" true (Ephemeron.broken h (Handle.get e));
+  Handle.free g;
+  Handle.free e
+
+let test_old_ephemeron_young_key () =
+  (* Dirty-segment path: an old ephemeron whose key and value are young. *)
+  let h = heap () in
+  let e = Handle.create h (Ephemeron.cons h Word.nil Word.nil) in
+  full_collect h;
+  full_collect h;
+  check "old" true (Heap.generation_of_word h (Handle.get e) >= 2);
+  (* Live young key: minor GC must keep value and update both fields. *)
+  let key = Handle.create h (Obj.cons h (fx 9) Word.nil) in
+  Ephemeron.set_key h (Handle.get e) (Handle.get key);
+  Ephemeron.set_value h (Handle.get e) (Obj.cons h (fx 90) Word.nil);
+  ignore (Collector.collect h ~gen:0);
+  Verify.check_exn h;
+  check "key updated" true (Word.equal (Ephemeron.key h (Handle.get e)) (Handle.get key));
+  check_int "value survived" 90
+    (Word.to_fixnum (Obj.car h (Ephemeron.value h (Handle.get e))));
+  (* Dead young key: minor GC must break it. *)
+  Ephemeron.set_key h (Handle.get e) (Obj.cons h (fx 10) Word.nil);
+  Ephemeron.set_value h (Handle.get e) (Obj.cons h (fx 100) Word.nil);
+  ignore (Collector.collect h ~gen:0);
+  Verify.check_exn h;
+  check "broken by minor gc" true (Ephemeron.broken h (Handle.get e));
+  Handle.free key;
+  Handle.free e
+
+let test_cycle_of_dead_ephemerons () =
+  (* Mutual: e1's value holds k2, e2's value holds k1, nothing else holds
+     either key: everything must collapse (a naive strong-value scheme
+     would retain the cycle). *)
+  let h = heap () in
+  let k1 = Obj.cons h (fx 1) Word.nil in
+  let k2 = Obj.cons h (fx 2) Word.nil in
+  let e1 = Handle.create h (Ephemeron.cons h k1 k2) in
+  let e2 = Handle.create h (Ephemeron.cons h k2 k1) in
+  full_collect h;
+  Verify.check_exn h;
+  check "e1 broken" true (Ephemeron.broken h (Handle.get e1));
+  check "e2 broken" true (Ephemeron.broken h (Handle.get e2));
+  Handle.free e1;
+  Handle.free e2
+
+let test_stats_counters () =
+  let h = heap () in
+  let keep = Handle.create h Word.nil in
+  for i = 0 to 9 do
+    let key = Obj.cons h (fx i) Word.nil in
+    let e = Ephemeron.cons h key (fx (i * 10)) in
+    (* keep 5 keys alive *)
+    if i < 5 then Handle.set keep (Obj.cons h key (Handle.get keep));
+    Handle.set keep (Obj.cons h e (Handle.get keep))
+  done;
+  full_collect h;
+  let s = (Heap.stats h).Stats.last in
+  check_int "broken" 5 s.Stats.ephemerons_broken;
+  check "scanned at least 10" true (s.Stats.ephemerons_scanned >= 10);
+  Handle.free keep
+
+let prop_ephemeron_iff_key_dead =
+  QCheck.Test.make ~name:"ephemeron broken iff key dead" ~count:100
+    QCheck.(list bool)
+    (fun flags ->
+      let h = heap () in
+      let entries =
+        List.map
+          (fun keep ->
+            let key = Obj.cons h (fx 1) Word.nil in
+            let e = Handle.create h (Ephemeron.cons h key (Obj.cons h (fx 2) Word.nil)) in
+            let root = if keep then Some (Handle.create h key) else None in
+            (e, keep, root))
+          flags
+      in
+      full_collect h;
+      Verify.check_exn h;
+      List.for_all
+        (fun (e, keep, _) -> Ephemeron.broken h (Handle.get e) = not keep)
+        entries)
+
+let () =
+  Alcotest.run "ephemeron"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "types" `Quick test_basic_types;
+          Alcotest.test_case "live key" `Quick test_live_key_keeps_value;
+          Alcotest.test_case "dead key" `Quick test_dead_key_breaks_both;
+          Alcotest.test_case "value not retained" `Quick test_value_does_not_retain;
+          Alcotest.test_case "self-referential value" `Quick test_self_referential_value;
+          Alcotest.test_case "chains" `Quick test_chained_ephemerons;
+          Alcotest.test_case "mutual cycle" `Quick test_cycle_of_dead_ephemerons;
+        ] );
+      ( "interactions",
+        [
+          Alcotest.test_case "guardian-saved key" `Quick test_guardian_saved_key_counts_as_reachable;
+          Alcotest.test_case "old ephemeron, young key" `Quick test_old_ephemeron_young_key;
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_ephemeron_iff_key_dead ]);
+    ]

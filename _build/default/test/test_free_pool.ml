@@ -1,0 +1,95 @@
+(* Free-list recycling via guardians (paper Section 1, experiment E6). *)
+
+open Gbc_runtime
+module Free_pool = Gbc.Free_pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = Config.v ~segment_words:128 ~max_generation:2 ()
+let heap () = Heap.create ~config:cfg ()
+let fx = Word.of_fixnum
+let full_collect h = ignore (Collector.collect h ~gen:(Heap.max_generation h))
+
+let build h = Obj.make_vector h ~len:32 ~init:(fx 7)
+
+let test_builds_when_empty () =
+  let h = heap () in
+  let pool = Free_pool.create h ~build in
+  let a = Free_pool.acquire pool in
+  check "a vector" true (Obj.is_vector h a);
+  check_int "built one" 1 (Free_pool.built pool);
+  check_int "recycled none" 0 (Free_pool.recycled pool)
+
+let test_recycles_dropped () =
+  let h = heap () in
+  let pool = Free_pool.create h ~build in
+  ignore (Free_pool.acquire pool);
+  (* Dropped; prove it dead. *)
+  full_collect h;
+  let b = Free_pool.acquire pool in
+  check "got one back" true (Obj.is_vector h b);
+  check_int "still built once" 1 (Free_pool.built pool);
+  check_int "recycled once" 1 (Free_pool.recycled pool)
+
+let test_live_objects_not_recycled () =
+  let h = heap () in
+  let pool = Free_pool.create h ~build in
+  let a = Handle.create h (Free_pool.acquire pool) in
+  full_collect h;
+  let b = Free_pool.acquire pool in
+  check "distinct objects" false (Word.equal (Handle.get a) b);
+  check_int "built twice" 2 (Free_pool.built pool);
+  Handle.free a
+
+let test_capacity_discards () =
+  let h = heap () in
+  let pool = Free_pool.create ~capacity:2 h ~build in
+  for _ = 1 to 5 do
+    ignore (Free_pool.acquire pool)
+  done;
+  full_collect h;
+  Free_pool.drain pool;
+  check_int "kept to capacity" 2 (Free_pool.free_length pool);
+  check_int "discarded rest" 3 (Free_pool.discarded pool)
+
+let test_reinit_called () =
+  let h = heap () in
+  let reinits = ref 0 in
+  let pool =
+    Free_pool.create h ~build ~reinit:(fun h w ->
+        incr reinits;
+        Obj.vector_set h w 0 (fx 0))
+  in
+  let a = Free_pool.acquire pool in
+  Obj.vector_set h a 0 (fx 999);
+  full_collect h;
+  let b = Free_pool.acquire pool in
+  check_int "reinit ran" 1 !reinits;
+  check_int "scrubbed" 0 (Word.to_fixnum (Obj.vector_ref h b 0))
+
+let test_churn_savings () =
+  (* The E6 scenario: heavy churn of expensive objects with at most [k]
+     live at a time builds only ~k objects. *)
+  let h = heap () in
+  let pool = Free_pool.create h ~build in
+  for _round = 0 to 49 do
+    ignore (Free_pool.acquire pool);
+    full_collect h
+  done;
+  check "few builds" true (Free_pool.built pool <= 3);
+  check "mostly recycled" true (Free_pool.recycled pool >= 47)
+
+let () =
+  Alcotest.run "free_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "builds" `Quick test_builds_when_empty;
+          Alcotest.test_case "recycles" `Quick test_recycles_dropped;
+          Alcotest.test_case "live not recycled" `Quick test_live_objects_not_recycled;
+          Alcotest.test_case "capacity" `Quick test_capacity_discards;
+          Alcotest.test_case "reinit" `Quick test_reinit_called;
+          Alcotest.test_case "churn savings (E6)" `Quick test_churn_savings;
+        ] );
+    ]

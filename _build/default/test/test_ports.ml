@@ -1,0 +1,151 @@
+(* Ports and guarded ports: the paper's Section 3 example (experiment E5).
+   Without guardians, dropped ports leak descriptors and lose buffered
+   output; with the port guardian, both are recovered. *)
+
+open Gbc_runtime
+module Ctx = Gbc.Ctx
+module Port = Gbc.Port
+module Guarded_port = Gbc.Guarded_port
+module Vfs = Gbc_vfs.Vfs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let ctx () = Ctx.create ~fd_limit:8 ()
+let full_collect h = ignore (Collector.collect h ~gen:(Heap.max_generation h))
+
+let test_port_roundtrip () =
+  let c = ctx () in
+  let p = Handle.create c.Ctx.heap (Port.open_output c "f.txt") in
+  Port.write_string c (Handle.get p) "hello";
+  (* Small writes stay buffered. *)
+  check_str "buffered, not yet visible" "" (Vfs.read_file c.Ctx.vfs "f.txt");
+  Port.flush c (Handle.get p);
+  check_str "flushed" "hello" (Vfs.read_file c.Ctx.vfs "f.txt");
+  Port.write_string c (Handle.get p) " world";
+  Port.close c (Handle.get p);
+  check_str "close flushes" "hello world" (Vfs.read_file c.Ctx.vfs "f.txt");
+  let q = Handle.create c.Ctx.heap (Port.open_input c "f.txt") in
+  check "read h" true (Port.read_char c (Handle.get q) = Some 'h');
+  Port.close c (Handle.get q)
+
+let test_buffer_autoflush () =
+  let c = ctx () in
+  let p = Handle.create c.Ctx.heap (Port.open_output c "big.txt") in
+  let data = String.init 200 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  Port.write_string c (Handle.get p) data;
+  (* At least the filled buffers reached the file. *)
+  check "autoflush happened" true (String.length (Vfs.read_file c.Ctx.vfs "big.txt") >= 128);
+  Port.close c (Handle.get p);
+  check_str "all flushed" data (Vfs.read_file c.Ctx.vfs "big.txt")
+
+let test_port_survives_gc () =
+  let c = ctx () in
+  let p = Handle.create c.Ctx.heap (Port.open_output c "gc.txt") in
+  Port.write_string c (Handle.get p) "abc";
+  full_collect c.Ctx.heap;
+  Port.write_string c (Handle.get p) "def";
+  Port.close c (Handle.get p);
+  check_str "buffer moved with port" "abcdef" (Vfs.read_file c.Ctx.vfs "gc.txt")
+
+let test_closed_port_errors () =
+  let c = ctx () in
+  let p = Port.open_output c "x" in
+  Port.close c p;
+  Alcotest.check_raises "write after close" Port.Closed_port (fun () ->
+      Port.write_char c p 'a');
+  (* Closing twice is harmless. *)
+  Port.close c p
+
+let test_unguarded_ports_leak () =
+  (* The failure mode the paper motivates: drop ports without closing and
+     the system runs out of descriptors. *)
+  let c = ctx () in
+  let h = c.Ctx.heap in
+  let leaked = ref false in
+  (try
+     for i = 0 to 20 do
+       ignore (Port.open_output c (Printf.sprintf "f%d.txt" i));
+       full_collect h
+     done
+   with Vfs.Descriptor_exhausted -> leaked := true);
+  check "descriptor exhaustion" true !leaked
+
+let test_guarded_ports_recover () =
+  (* Same workload through the guarded opens: dropped ports are closed at
+     the next open, so it never exhausts. *)
+  let c = ctx () in
+  let gp = Guarded_port.create c in
+  for i = 0 to 40 do
+    let p = Guarded_port.open_output gp (Printf.sprintf "f%d.txt" i) in
+    Port.write_string c p (Printf.sprintf "data%d" i);
+    full_collect c.Ctx.heap
+  done;
+  Guarded_port.exit gp;
+  check_int "no leaked descriptors" 0 (Vfs.open_count c.Ctx.vfs);
+  check "guardian closed them" true (Guarded_port.closed_by_guardian gp >= 40);
+  (* Buffered output of dropped ports was flushed, not lost. *)
+  check_str "flushed data" "data7" (Vfs.read_file c.Ctx.vfs "f7.txt")
+
+let test_live_port_not_closed () =
+  let c = ctx () in
+  let gp = Guarded_port.create c in
+  let keep = Handle.create c.Ctx.heap (Guarded_port.open_output gp "keep.txt") in
+  for i = 0 to 5 do
+    ignore (Guarded_port.open_output gp (Printf.sprintf "drop%d.txt" i));
+    full_collect c.Ctx.heap
+  done;
+  check "live port untouched" false (Port.is_closed c.Ctx.heap (Handle.get keep));
+  Port.write_string c (Handle.get keep) "still fine";
+  Port.close c (Handle.get keep)
+
+let test_collect_handler_integration () =
+  (* The paper's collect-request-handler idiom: dropped ports are closed
+     after every collection, with no explicit calls. *)
+  let c = Ctx.create ~config:(Config.v ~gen0_trigger_words:1024 ()) ~fd_limit:8 () in
+  let gp = Guarded_port.create c in
+  Guarded_port.install_collect_handler gp;
+  for i = 0 to 30 do
+    ignore (Guarded_port.open_output gp (Printf.sprintf "h%d.txt" i));
+    (* Generate allocation pressure, then declare safepoints. *)
+    for j = 0 to 2000 do
+      ignore (Obj.cons c.Ctx.heap (Word.of_fixnum j) Word.nil)
+    done;
+    Runtime.safepoint c.Ctx.heap
+  done;
+  check "collections happened" true ((Heap.stats c.Ctx.heap).Stats.total.Stats.collections > 0);
+  check "handler closed dropped ports" true (Guarded_port.closed_by_guardian gp > 0);
+  check "descriptors stay bounded" true (Vfs.open_count c.Ctx.vfs <= 4);
+  Runtime.set_collect_request_handler c.Ctx.heap None
+
+let test_input_ports_guarded () =
+  let c = ctx () in
+  Vfs.write_file c.Ctx.vfs "in.txt" "zy";
+  let gp = Guarded_port.create c in
+  let p = Guarded_port.open_input gp "in.txt" in
+  check "reads" true (Port.read_char c p = Some 'z');
+  (* Drop it; next open closes it. *)
+  full_collect c.Ctx.heap;
+  ignore (Guarded_port.open_input gp "in.txt");
+  check_int "only the fresh one open" 1 (Vfs.open_count c.Ctx.vfs)
+
+let () =
+  Alcotest.run "ports"
+    [
+      ( "port",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_port_roundtrip;
+          Alcotest.test_case "autoflush" `Quick test_buffer_autoflush;
+          Alcotest.test_case "survives gc" `Quick test_port_survives_gc;
+          Alcotest.test_case "closed errors" `Quick test_closed_port_errors;
+        ] );
+      ( "guarded (E5)",
+        [
+          Alcotest.test_case "unguarded leak" `Quick test_unguarded_ports_leak;
+          Alcotest.test_case "guarded recover" `Quick test_guarded_ports_recover;
+          Alcotest.test_case "live port untouched" `Quick test_live_port_not_closed;
+          Alcotest.test_case "collect handler" `Quick test_collect_handler_integration;
+          Alcotest.test_case "input ports" `Quick test_input_ports_guarded;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* Smoke tests for the heap and collector; the full suites live in the
+   other test_*.ml files. *)
+
+open Gbc_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let heap () = Heap.create ()
+
+let test_alloc_pairs () =
+  let h = heap () in
+  let a = Obj.cons h (Word.of_fixnum 1) (Word.of_fixnum 2) in
+  check_int "car" 1 (Word.to_fixnum (Obj.car h a));
+  check_int "cdr" 2 (Word.to_fixnum (Obj.cdr h a));
+  Obj.set_car h a (Word.of_fixnum 42);
+  check_int "set car" 42 (Word.to_fixnum (Obj.car h a));
+  check "pair?" true (Obj.is_pair h a);
+  check "weak?" false (Obj.is_weak_pair h a)
+
+let test_alloc_typed () =
+  let h = heap () in
+  let v = Obj.make_vector h ~len:10 ~init:Word.nil in
+  check_int "len" 10 (Obj.vector_length h v);
+  Obj.vector_set h v 3 (Word.of_fixnum 7);
+  check_int "ref" 7 (Word.to_fixnum (Obj.vector_ref h v 3));
+  let s = Obj.string_of_ocaml h "hello" in
+  Alcotest.(check string) "string" "hello" (Obj.string_to_ocaml h s)
+
+let test_gc_preserves_roots () =
+  let h = heap () in
+  let l = Obj.list_of h (List.map Word.of_fixnum [ 1; 2; 3; 4; 5 ]) in
+  let c = Heap.new_cell h l in
+  (* Some garbage. *)
+  for i = 0 to 999 do
+    ignore (Obj.cons h (Word.of_fixnum i) Word.nil)
+  done;
+  ignore (Collector.collect h ~gen:0);
+  let l' = Heap.read_cell h c in
+  check "moved" false (Word.equal l l');
+  let xs = List.map Word.to_fixnum (Obj.to_list h l') in
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4; 5 ] xs
+
+let test_gc_drops_garbage () =
+  let h = heap () in
+  let keep = Heap.new_cell h (Obj.cons h Word.true_ Word.nil) in
+  for i = 0 to 9999 do
+    ignore (Obj.make_vector h ~len:8 ~init:(Word.of_fixnum i))
+  done;
+  ignore (Collector.collect h ~gen:0);
+  let stats = Heap.stats h in
+  check "copied little" true (stats.Stats.last.Stats.objects_copied < 10);
+  ignore (Heap.read_cell h keep)
+
+let test_promotion_and_remembered_set () =
+  let h = heap () in
+  let vcell =
+    Heap.new_cell h (Obj.make_vector h ~len:4 ~init:Word.nil)
+  in
+  (* Promote the vector to an older generation. *)
+  ignore (Collector.collect h ~gen:0);
+  ignore (Collector.collect h ~gen:1);
+  let v = Heap.read_cell h vcell in
+  check_int "gen" 2 (Heap.generation_of_word h v);
+  (* Store a young pair into the old vector; only the vector's segment
+     remembers it. *)
+  let p = Obj.cons h (Word.of_fixnum 9) Word.nil in
+  Obj.vector_set h v 0 p;
+  ignore (Collector.collect h ~gen:0);
+  let v = Heap.read_cell h vcell in
+  let p' = Obj.vector_ref h v 0 in
+  check_int "young survived via remembered set" 9 (Word.to_fixnum (Obj.car h p'))
+
+let test_weak_pair_broken () =
+  let h = heap () in
+  let dead = Obj.cons h (Word.of_fixnum 1) Word.nil in
+  let live = Obj.cons h (Word.of_fixnum 2) Word.nil in
+  let wp_dead = Weak_pair.cons h dead (Word.of_fixnum 10) in
+  let wp_live = Weak_pair.cons h live (Word.of_fixnum 20) in
+  let c1 = Heap.new_cell h wp_dead in
+  let c2 = Heap.new_cell h wp_live in
+  let c3 = Heap.new_cell h live in
+  ignore (Collector.collect h ~gen:0);
+  let wp_dead = Heap.read_cell h c1 and wp_live = Heap.read_cell h c2 in
+  check "dead broken" true (Weak_pair.broken h wp_dead);
+  check_int "dead cdr intact" 10 (Word.to_fixnum (Weak_pair.cdr h wp_dead));
+  check "live kept" false (Weak_pair.broken h wp_live);
+  check_int "live car" 2 (Word.to_fixnum (Obj.car h (Weak_pair.car h wp_live)));
+  check "live updated" true (Word.equal (Weak_pair.car h wp_live) (Heap.read_cell h c3))
+
+let test_guardian_basic () =
+  let h = heap () in
+  let g = Guardian.make h in
+  let gc_cell = Heap.new_cell h g in
+  let x = Obj.cons h (Word.of_fixnum 5) (Word.of_fixnum 6) in
+  Guardian.register h g x;
+  let xcell = Heap.new_cell h x in
+  ignore (Collector.collect h ~gen:0);
+  let g = Heap.read_cell h gc_cell in
+  (* Still accessible through xcell: nothing retrievable. *)
+  check "accessible -> none" true (Guardian.retrieve h g = None);
+  Heap.free_cell h xcell;
+  (* x was promoted by the first collection; only a collection of its new
+     generation can prove it inaccessible. *)
+  ignore (Collector.collect h ~gen:1);
+  let g = Heap.read_cell h gc_cell in
+  (match Guardian.retrieve h g with
+  | Some w ->
+      check_int "saved car" 5 (Word.to_fixnum (Obj.car h w));
+      check_int "saved cdr" 6 (Word.to_fixnum (Obj.cdr h w))
+  | None -> Alcotest.fail "expected object from guardian");
+  check "then empty" true (Guardian.retrieve h g = None)
+
+let test_guardian_double_registration () =
+  let h = heap () in
+  let g = Guardian.make h in
+  let gcell = Heap.new_cell h g in
+  let x = Obj.cons h (Word.of_fixnum 1) (Word.of_fixnum 2) in
+  Guardian.register h g x;
+  Guardian.register h g x;
+  ignore (Collector.collect h ~gen:0);
+  let g = Heap.read_cell h gcell in
+  check "retrievable twice: 1" true (Guardian.retrieve h g <> None);
+  check "retrievable twice: 2" true (Guardian.retrieve h g <> None);
+  check "then empty" true (Guardian.retrieve h g = None)
+
+let test_guardian_in_guardian () =
+  let h = heap () in
+  let g = Guardian.make h in
+  let gcell = Heap.new_cell h g in
+  let inner = Guardian.make h in
+  let x = Obj.cons h (Word.of_fixnum 7) Word.nil in
+  Guardian.register h g inner;
+  Guardian.register h inner x;
+  (* Drop both the inner guardian and x. *)
+  ignore (Collector.collect h ~gen:0);
+  let g = Heap.read_cell h gcell in
+  (match Guardian.retrieve h g with
+  | Some innerg ->
+      check "inner is guardian" true (Guardian.is_guardian h innerg);
+      (match Guardian.retrieve h innerg with
+      | Some w -> check_int "x via inner" 7 (Word.to_fixnum (Obj.car h w))
+      | None -> Alcotest.fail "inner guardian should yield x")
+  | None -> Alcotest.fail "outer guardian should yield inner guardian")
+
+let test_dropped_guardian_cancels () =
+  let h = heap () in
+  let g = Guardian.make h in
+  let x = Obj.cons h (Word.of_fixnum 1) Word.nil in
+  Guardian.register h g x;
+  (* Drop guardian and object together: everything reclaimed, nothing
+     resurrected. *)
+  ignore (Collector.collect h ~gen:0);
+  let stats = Heap.stats h in
+  check_int "no resurrections" 0 stats.Stats.last.Stats.guardian_resurrections;
+  check "entry dropped" true (stats.Stats.last.Stats.guardian_entries_dropped >= 1)
+
+let test_weak_to_guarded_not_broken () =
+  let h = heap () in
+  let g = Guardian.make h in
+  let gcell = Heap.new_cell h g in
+  let x = Obj.cons h (Word.of_fixnum 3) Word.nil in
+  Guardian.register h g x;
+  let wp = Weak_pair.cons h x Word.nil in
+  let wcell = Heap.new_cell h wp in
+  ignore (Collector.collect h ~gen:0);
+  let wp = Heap.read_cell h wcell and g = Heap.read_cell h gcell in
+  check "weak survived guardian save" false (Weak_pair.broken h wp);
+  (match Guardian.retrieve h g with
+  | Some w -> check "same object" true (Word.equal w (Weak_pair.car h wp))
+  | None -> Alcotest.fail "guardian should have saved x")
+
+let () =
+  Alcotest.run "gbc_runtime_smoke"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pairs" `Quick test_alloc_pairs;
+          Alcotest.test_case "typed" `Quick test_alloc_typed;
+          Alcotest.test_case "gc roots" `Quick test_gc_preserves_roots;
+          Alcotest.test_case "gc garbage" `Quick test_gc_drops_garbage;
+          Alcotest.test_case "remembered set" `Quick test_promotion_and_remembered_set;
+        ] );
+      ( "weak",
+        [ Alcotest.test_case "weak pair broken/kept" `Quick test_weak_pair_broken ] );
+      ( "guardian",
+        [
+          Alcotest.test_case "basic" `Quick test_guardian_basic;
+          Alcotest.test_case "double registration" `Quick test_guardian_double_registration;
+          Alcotest.test_case "guardian in guardian" `Quick test_guardian_in_guardian;
+          Alcotest.test_case "dropped guardian" `Quick test_dropped_guardian_cancels;
+          Alcotest.test_case "weak to guarded" `Quick test_weak_to_guarded_not_broken;
+        ] );
+    ]

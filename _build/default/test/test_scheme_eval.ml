@@ -1,0 +1,555 @@
+(* Language semantics of the Scheme system: special forms, closures, tail
+   calls, assignment, the numeric tower, library procedures, ports, and
+   error behaviour. *)
+
+open Gbc_scheme
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let m = lazy (Scheme.create ())
+
+let ev src = Scheme.eval (Lazy.force m) src
+
+let t name src expected =
+  Alcotest.test_case name `Quick (fun () -> check_str src expected (ev src))
+
+let fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match ev src with
+      | exception Machine.Error _ -> ()
+      | exception Compile.Error _ -> ()
+      | v -> Alcotest.failf "expected error, got %s" v)
+
+let basics =
+  [
+    t "int" "42" "42";
+    t "negative" "-5" "-5";
+    t "bool" "#t" "#t";
+    t "char" "#\\z" "#\\z";
+    t "string" "\"hi\"" "\"hi\"";
+    t "quote" "'(a b)" "(a b)";
+    t "quote dotted" "'(a . b)" "(a . b)";
+    t "vector literal" "'#(1 2)" "#(1 2)";
+    t "float" "2.5" "2.5";
+    t "if true" "(if #t 1 2)" "1";
+    t "if false" "(if #f 1 2)" "2";
+    t "if one-armed" "(if #f 1)" "#f";
+    t "truthiness of 0" "(if 0 'yes 'no)" "yes";
+    t "truthiness of nil" "(if '() 'yes 'no)" "yes";
+    t "begin" "(begin 1 2 3)" "3";
+  ]
+
+let arithmetic =
+  [
+    t "add" "(+ 1 2 3 4)" "10";
+    t "add none" "(+)" "0";
+    t "sub" "(- 10 3 2)" "5";
+    t "neg" "(- 5)" "-5";
+    t "mul" "(* 2 3 4)" "24";
+    t "quotient" "(quotient 17 5)" "3";
+    t "remainder" "(remainder 17 5)" "2";
+    t "modulo neg" "(modulo -7 3)" "2";
+    t "remainder neg" "(remainder -7 3)" "-1";
+    t "lt chain" "(< 1 2 3)" "#t";
+    t "lt chain false" "(< 1 3 2)" "#f";
+    t "eq nums" "(= 2 2 2)" "#t";
+    t "zero?" "(zero? 0)" "#t";
+    t "float add" "(+ 1.5 2.5)" "4.";
+    t "mixed" "(* 2 1.5)" "3.";
+    t "float div" "(/ 1.0 4)" "0.25";
+    t "int div" "(/ 7 2)" "3";
+    t "char->integer" "(char->integer #\\A)" "65";
+    t "integer->char" "(integer->char 97)" "#\\a";
+    t "number->string" "(number->string 42)" "\"42\"";
+    t "abs" "(abs -3)" "3";
+    t "min/max" "(list (min 1 2) (max 1 2))" "(1 2)";
+    t "even/odd" "(list (even? 4) (odd? 4))" "(#t #f)";
+    fails "div by zero" "(/ 1 0)";
+    fails "add non-number" "(+ 1 'a)";
+  ]
+
+let bindings =
+  [
+    t "let" "(let ([x 1] [y 2]) (+ x y))" "3";
+    t "let shadows" "(let ([x 1]) (let ([x 2]) x))" "2";
+    t "let*" "(let* ([x 1] [y (+ x 1)]) y)" "2";
+    t "letrec" "(letrec ([e? (lambda (n) (if (zero? n) #t (o? (- n 1))))] [o? (lambda (n) (if (zero? n) #f (e? (- n 1))))]) (e? 10))" "#t";
+    t "named let" "(let f ([n 5] [acc 1]) (if (zero? n) acc (f (- n 1) (* acc n))))" "120";
+    t "define/use" "(define forty 40) (+ forty 2)" "42";
+    t "set! global" "(define gv 1) (set! gv 9) gv" "9";
+    t "set! local" "(let ([x 1]) (set! x 5) x)" "5";
+    t "closure capture" "(define (adder n) (lambda (x) (+ x n))) ((adder 3) 4)" "7";
+    t "shared mutable capture"
+      "(define (counter) (let ([n 0]) (lambda () (set! n (+ n 1)) n))) (define c1 (counter)) (c1) (c1) (c1)"
+      "3";
+    t "two counters independent"
+      "(define ca (counter)) (define cb (counter)) (ca) (ca) (cb) (list (ca) (cb))" "(3 2)";
+    t "internal define" "(define (g x) (define y 10) (+ x y)) (g 5)" "15";
+    t "internal define fn" "(define (h x) (define (dbl v) (* 2 v)) (dbl x)) (h 21)" "42";
+    fails "unbound" "this-is-unbound";
+    fails "set! unbound" "(set! never-defined 1)";
+  ]
+
+let control =
+  [
+    t "cond" "(cond [#f 1] [#t 2] [else 3])" "2";
+    t "cond else" "(cond [#f 1] [else 3])" "3";
+    t "cond test-only" "(cond [#f] [42] [else 1])" "42";
+    t "cond empty" "(cond [#f 1])" "#f";
+    t "case" "(case (+ 1 1) [(1) 'one] [(2) 'two] [else 'many])" "two";
+    t "case else" "(case 9 [(1) 'one] [else 'many])" "many";
+    t "and" "(and 1 2 3)" "3";
+    t "and short" "(and 1 #f (error \"not reached\"))" "#f";
+    t "and empty" "(and)" "#t";
+    t "or" "(or #f #f 3)" "3";
+    t "or short" "(or 2 (error \"not reached\"))" "2";
+    t "or empty" "(or)" "#f";
+    t "when" "(when (= 1 1) 'a 'b)" "b";
+    t "when false" "(when #f 'x)" "#f";
+    t "unless" "(unless (= 1 2) 'ok)" "ok";
+    t "do loop" "(do ([i 0 (+ i 1)] [acc '() (cons i acc)]) ((= i 3) acc))" "(2 1 0)";
+    t "deep tail recursion"
+      "(define (count n) (if (zero? n) 'done (count (- n 1)))) (count 100000)" "done";
+    t "mutual tail recursion"
+      "(define (pp n) (if (zero? n) 'even (qq (- n 1)))) (define (qq n) (if (zero? n) 'odd (pp (- n 1)))) (pp 99999)"
+      "odd";
+  ]
+
+let procedures =
+  [
+    t "lambda rest" "((lambda args args) 1 2 3)" "(1 2 3)";
+    t "lambda req+rest" "((lambda (a . rest) (cons a rest)) 1 2 3)" "(1 2 3)";
+    t "case-lambda dispatch"
+      "(define cl (case-lambda [() 0] [(a) 1] [(a b) 2] [(a b . r) 'many])) (list (cl) (cl 'x) (cl 'x 'y) (cl 1 2 3 4))"
+      "(0 1 2 many)";
+    t "apply" "(apply + '(1 2 3))" "6";
+    t "apply spread" "(apply list 1 2 '(3 4))" "(1 2 3 4)";
+    t "procedure?" "(list (procedure? car) (procedure? (lambda (x) x)) (procedure? 5))"
+      "(#t #t #f)";
+    t "higher order" "(map (lambda (f) (f 10)) (list 1+ 1- (lambda (x) (* x x))))" "(11 9 100)";
+    fails "too few args" "((lambda (a b) a) 1)";
+    fails "apply non-proc" "(5 6)";
+    fails "case-lambda no clause" "((case-lambda [(a) a]) 1 2)";
+  ]
+
+let data =
+  [
+    t "cons/car/cdr" "(car (cons 1 2))" "1";
+    t "set-car!" "(define pr (cons 1 2)) (set-car! pr 9) pr" "(9 . 2)";
+    t "set-cdr! cycle" "(define cy (list 1)) (set-cdr! cy cy) (car (cdr (cdr cy)))" "1";
+    t "list ops" "(list (length '(a b c)) (reverse '(1 2 3)) (append '(1) '(2) '(3)))"
+      "(3 (3 2 1) (1 2 3))";
+    t "memq" "(memq 'c '(a b c d))" "(c d)";
+    t "memv" "(memv 2 '(1 2 3))" "(2 3)";
+    t "member" "(member \"b\" '(\"a\" \"b\"))" "(\"b\")";
+    t "assq" "(assq 'b '((a 1) (b 2)))" "(b 2)";
+    t "remq" "(remq 'b '(a b c b))" "(a c)";
+    t "filter" "(filter even? '(1 2 3 4 5 6))" "(2 4 6)";
+    t "fold-left" "(fold-left + 0 '(1 2 3 4))" "10";
+    t "iota" "(iota 5)" "(0 1 2 3 4)";
+    t "map 2-list" "(map + '(1 2 3) '(10 20 30))" "(11 22 33)";
+    t "list-ref" "(list-ref '(a b c) 2)" "c";
+    t "eq? symbols" "(eq? 'a 'a)" "#t";
+    t "eq? fresh pairs" "(eq? (cons 1 2) (cons 1 2))" "#f";
+    t "eqv? numbers" "(eqv? 100000 100000)" "#t";
+    t "equal? deep" "(equal? '(1 (2 #(3))) '(1 (2 #(3))))" "#t";
+    t "equal? strings" "(equal? \"ab\" \"ab\")" "#t";
+    t "vectors" "(define v (make-vector 3 'x)) (vector-set! v 1 'y) (vector->list v)" "(x y x)";
+    t "vector fn" "(vector 1 2 3)" "#(1 2 3)";
+    t "list->vector" "(list->vector '(1 2))" "#(1 2)";
+    t "strings" "(string-append \"foo\" \"bar\")" "\"foobar\"";
+    t "string ops" "(list (string-length \"abc\") (string-ref \"abc\" 1))" "(3 #\\b)";
+    t "substring" "(substring \"hello\" 1 3)" "\"el\"";
+    t "symbol<->string" "(string->symbol (symbol->string 'hello))" "hello";
+    t "boxes" "(define bx (box 1)) (set-box! bx 2) (unbox bx)" "2";
+    t "predicates" "(list (pair? '(1)) (pair? '()) (null? '()) (symbol? 'a) (string? \"s\") (char? #\\a) (vector? '#(1)))"
+      "(#t #f #t #t #t #t #t)";
+    fails "car of non-pair" "(car 5)";
+    fails "vector-ref range" "(vector-ref (make-vector 2) 5)";
+  ]
+
+let continuations =
+  [
+    t "call/cc unused" "(+ 1 (call/cc (lambda (k) 10)))" "11";
+    t "call/cc escape" "(+ 1 (call/cc (lambda (k) (k 10) 99)))" "11";
+    t "long name" "(call-with-current-continuation (lambda (k) (k 'ok)))" "ok";
+    t "escape from map"
+      "(call/cc (lambda (ret) (map (lambda (x) (if (= x 3) (ret 'three) x)) '(1 2 3 4))))"
+      "three";
+    t "early exit helper"
+      "(define (find-first pred l)\n\
+      \  (call/cc (lambda (return)\n\
+      \    (for-each (lambda (x) (when (pred x) (return x))) l)\n\
+      \    'not-found)))\n\
+       (list (find-first even? '(1 3 4 5)) (find-first even? '(1 3 5)))"
+      "(4 not-found)";
+    t "re-entrant loop in one form"
+      "(define trip 0)\n\
+       (let ([k+v (call/cc (lambda (k) (cons k 0)))])\n\
+      \  (set! trip (+ trip 1))\n\
+      \  (if (< (cdr k+v) 3)\n\
+      \      ((car k+v) (cons (car k+v) (+ (cdr k+v) 1)))\n\
+      \      (list 'value (cdr k+v) 'trips trip)))"
+      "(value 3 trips 4)";
+    t "continuation is a procedure" "(call/cc procedure?)" "#t";
+    t "tail call/cc"
+      "(define (f) (call/cc (lambda (k) (k 42))))\n(f)" "42";
+    t "generator ping-pong"
+      "(define (make-gen lst)\n\
+      \  (define return #f)\n\
+      \  (define (next)\n\
+      \    (call/cc (lambda (r) (set! return r) (resume 'go))))\n\
+      \  (define resume\n\
+      \    (lambda (ignored)\n\
+      \      (for-each (lambda (x) (call/cc (lambda (k) (set! resume k) (return x)))) lst)\n\
+      \      (return 'done)))\n\
+      \  next)\n\
+       (define gen (make-gen '(a b c)))\n\
+       (list (gen) (gen) (gen) (gen))"
+      "(a b c done)";
+    t "continuation survives gc"
+      "(define kk #f)\n\
+       (define out (+ 1000 (call/cc (lambda (k) (set! kk k) 0))))\n\
+       (collect 4)\n\
+       out"
+      "1000";
+    fails "wrong arity to continuation" "(call/cc (lambda (k) (k 1 2)))";
+    t "dynamic-wind normal"
+      "(define dwl '()) (define (dwn x) (set! dwl (cons x dwl)))\n\
+       (dynamic-wind (lambda () (dwn 'in)) (lambda () (dwn 'body) 'r) (lambda () (dwn 'out)))\n\
+       (reverse dwl)"
+      "(in body out)";
+    t "dynamic-wind escape runs after"
+      "(define dwl2 '()) (define (dwn2 x) (set! dwl2 (cons x dwl2)))\n\
+       (call/cc (lambda (escape)\n\
+      \  (dynamic-wind (lambda () (dwn2 'in))\n\
+      \                (lambda () (dwn2 'body) (escape 'gone) (dwn2 'unreached))\n\
+      \                (lambda () (dwn2 'out)))))\n\
+       (reverse dwl2)"
+      "(in body out)";
+    t "dynamic-wind re-entry rewinds"
+      "(define dwl3 '()) (define (dwn3 x) (set! dwl3 (cons x dwl3)))\n\
+       (define kdw #f) (define ndw 0)\n\
+       (dynamic-wind\n\
+      \  (lambda () (dwn3 'in))\n\
+      \  (lambda () (call/cc (lambda (k) (set! kdw k))) (set! ndw (+ ndw 1)) (dwn3 (cons 'body ndw)))\n\
+      \  (lambda () (dwn3 'out)))\n\
+       (when (< ndw 2) (kdw 'again))\n\
+       (reverse dwl3)"
+      "(in (body . 1) out in (body . 2) out)";
+    t "nested winds unwind in order"
+      "(define dwl4 '()) (define (dwn4 x) (set! dwl4 (cons x dwl4)))\n\
+       (call/cc (lambda (escape)\n\
+      \  (dynamic-wind (lambda () (dwn4 'in1)) (lambda ()\n\
+      \    (dynamic-wind (lambda () (dwn4 'in2)) (lambda () (escape 'x))\n\
+      \                  (lambda () (dwn4 'out2))))\n\
+      \    (lambda () (dwn4 'out1)))))\n\
+       (reverse dwl4)"
+      "(in1 in2 out2 out1)";
+    t "call-with-output-file closes on exit"
+      "(call-with-output-file \"cwof.txt\" (lambda (p) (display '(1 2) p)))\n\
+       (call-with-input-file \"cwof.txt\" (lambda (p) (read p)))"
+      "(1 2)";
+    t "call-with-output-file closes on escape"
+      "(call/cc (lambda (esc)\n\
+      \  (call-with-output-file \"cwof2.txt\" (lambda (p) (display 'partial p) (esc 'out)))))\n\
+       (call-with-input-file \"cwof2.txt\" (lambda (p) (read p)))"
+      "partial";
+  ]
+
+let quasiquote =
+  [
+    t "plain" "`(1 2 3)" "(1 2 3)";
+    t "unquote" "(let ([x 5]) `(a ,x b))" "(a 5 b)";
+    t "splice" "`(1 ,@(list 2 3) 4)" "(1 2 3 4)";
+    t "splice end" "`(1 ,@(list 2 3))" "(1 2 3)";
+    t "nested structure" "(let ([x 1]) `((,x) #(,x ,(+ x 1))))" "((1) #(1 2))";
+    t "nested quasiquote" "`(a `(b ,(c)))" "(a (quasiquote (b (unquote (c)))))";
+    t "double depth unquote" "(let ([x 9]) `(a `(b ,,x)))" "(a (quasiquote (b (unquote 9))))";
+    t "atom" "`x" "x";
+    fails "unquote outside" ",x";
+  ]
+
+let reading =
+  [
+    Alcotest.test_case "read from port" `Quick (fun () ->
+        let mach = Lazy.force m in
+        ignore
+          (Machine.eval_string mach
+             "(define rp-out (open-output-file \"data.scm\"))\n\
+              (display \"(1 two \\\"three\\\") 42 final\" rp-out)\n\
+              (close-output-port rp-out)\n\
+              (define rp (open-input-file \"data.scm\"))");
+        check_str "datum 1" "(1 two \"three\")" (ev "(read rp)");
+        check_str "datum 2" "42" (ev "(read rp)");
+        check_str "datum 3" "final" (ev "(read rp)");
+        check_str "eof" "#t" (ev "(eof-object? (read rp))");
+        ignore (ev "(close-input-port rp)"));
+    Alcotest.test_case "peek-char does not consume" `Quick (fun () ->
+        let mach = Lazy.force m in
+        ignore
+          (Machine.eval_string mach
+             "(define pk-out (open-output-file \"pk.txt\"))\n\
+              (display \"xy\" pk-out) (close-output-port pk-out)\n\
+              (define pk (open-input-file \"pk.txt\"))");
+        check_str "peek" "#\\x" (ev "(peek-char pk)");
+        check_str "peek again" "#\\x" (ev "(peek-char pk)");
+        check_str "read" "#\\x" (ev "(read-char pk)");
+        check_str "next" "#\\y" (ev "(read-char pk)");
+        check_str "peek eof" "#t" (ev "(eof-object? (peek-char pk))"));
+  ]
+
+let extended_prims =
+  [
+    t "char=?" "(char=? #\\a #\\a)" "#t";
+    t "char<?" "(char<? #\\a #\\b)" "#t";
+    t "char-upcase" "(char-upcase #\\a)" "#\\A";
+    t "char-alphabetic?" "(list (char-alphabetic? #\\a) (char-alphabetic? #\\1))" "(#t #f)";
+    t "char-numeric?" "(char-numeric? #\\7)" "#t";
+    t "char-whitespace?" "(char-whitespace? #\\space)" "#t";
+    t "string<?" "(string<? \"abc\" \"abd\")" "#t";
+    t "string-copy distinct" "(let* ([s \"abc\"] [c (string-copy s)]) (list (equal? s c) (eq? s c)))" "(#t #f)";
+    t "string->list" "(string->list \"abc\")" "(#\\a #\\b #\\c)";
+    t "list->string" "(list->string '(#\\h #\\i))" "\"hi\"";
+    t "string->number int" "(string->number \"42\")" "42";
+    t "string->number float" "(string->number \"2.5\")" "2.5";
+    t "string->number bad" "(string->number \"nope\")" "#f";
+    t "string fn" "(string #\\a #\\b)" "\"ab\"";
+    t "vector-fill!" "(let ([v (make-vector 3 0)]) (vector-fill! v 'x) v)" "#(x x x)";
+    t "gensym distinct" "(eq? (gensym) (gensym))" "#f";
+    t "sort" "(sort < '(5 2 8 1 9 3))" "(1 2 3 5 8 9)";
+    t "sort stable strings" "(sort (lambda (a b) (< (string-length a) (string-length b))) '(\"bb\" \"a\" \"ccc\" \"dd\"))"
+      "(\"a\" \"bb\" \"dd\" \"ccc\")";
+    t "list-copy distinct" "(let* ([l '(1 2)] [c (list-copy l)]) (list (equal? l c) (eq? l c)))"
+      "(#t #f)";
+    t "last-pair" "(last-pair '(1 2 3))" "(3)";
+    t "vector-map" "(vector-map (lambda (x) (* x x)) #(1 2 3))" "#(1 4 9)";
+    t "string-join" "(string-join \", \" '(\"x\" \"y\" \"z\"))" "\"x, y, z\"";
+    t "string ports write" "(write-to-string '(1 #\\a \"s\"))" "\"(1 #\\\\a \\\"s\\\")\"";
+    t "string ports read" "(read-from-string \"(a (b c))\")" "(a (b c))";
+    t "output string port"
+      "(let ([p (open-output-string)]) (display 'hello p) (display \" \" p) (display 42 p) (get-output-string p))"
+      "\"hello 42\"";
+    t "input string port"
+      "(let ([p (open-input-string \"xy\")]) (let* ([a (read-char p)] [b (read-char p)] [c (read-char p)]) (list a b (eof-object? c))))"
+      "(#\\x #\\y #t)";
+  ]
+
+let records =
+  [
+    t "define-record-type basics"
+      "(define-record-type point (make-point x y) point?\n\
+      \  (x point-x set-point-x!) (y point-y))\n\
+       (define rp (make-point 3 4))\n\
+       (list (point? rp) (point? 5) (point-x rp) (point-y rp) (record? rp))"
+      "(#t #f 3 4 #t)";
+    t "record mutation" "(set-point-x! rp 9) (point-x rp)" "9";
+    t "records survive gc" "(collect 4) (list (point-x rp) (point-y rp))" "(9 4)";
+    t "missing ctor fields default to #f"
+      "(define-record-type cell (make-cell a) cell? (a cell-a) (b cell-b set-cell-b!))\n\
+       (define rc (make-cell 1))\n\
+       (list (cell-a rc) (cell-b rc) (begin (set-cell-b! rc 2) (cell-b rc)))"
+      "(1 #f 2)";
+    t "distinct record types"
+      "(define-record-type dot (make-dot v) dot? (v dot-v))\n\
+       (list (point? (make-dot 1)) (dot? rp))"
+      "(#f #f)";
+    fails "wrong-type accessor" "(point-x (make-dot 1))";
+    fails "accessor on non-record" "(point-x 42)";
+  ]
+
+let hashtables =
+  [
+    t "eq-hashtable across collections"
+      "(define eht (make-eq-hashtable))\n\
+       (define ek1 (cons 1 1)) (define ek2 'symk)\n\
+       (hashtable-set! eht ek1 'one)\n\
+       (hashtable-set! eht ek2 'two)\n\
+       (collect 4) (collect 4)\n\
+       (list (hashtable-ref eht ek1 'miss) (hashtable-ref eht ek2 'miss))"
+      "(one two)";
+    t "update" "(hashtable-set! eht ek1 'uno) (hashtable-ref eht ek1 'miss)" "uno";
+    t "size/contains/delete"
+      "(list (hashtable-size eht) (hashtable-contains? eht ek1)\n\
+      \      (begin (hashtable-delete! eht ek1) (hashtable-contains? eht ek1))\n\
+      \      (hashtable-size eht))"
+      "(2 #t #f 1)";
+    t "misses give default" "(hashtable-ref eht (cons 5 5) 'default)" "default";
+    t "many keys, many collections"
+      "(define ht2 (make-eq-hashtable))\n\
+       (define keys (map (lambda (i) (cons i i)) (iota 100)))\n\
+       (for-each (lambda (k) (hashtable-set! ht2 k (car k))) keys)\n\
+       (collect 4)\n\
+       (fold-left + 0 (map (lambda (k) (hashtable-ref ht2 k -1000)) keys))"
+      "4950";
+  ]
+
+let gc_stress =
+  [
+    Alcotest.test_case "evaluation under constant collection" `Quick (fun () ->
+        (* A machine whose collect trigger fires every ~512 words: every few
+           VM calls cause a collection, exercising the stack/closure/consts
+           scanners continuously. *)
+        let open Gbc_runtime in
+        let config = Config.v ~gen0_trigger_words:512 ~max_generation:3 () in
+        let mach = Gbc_scheme.Scheme.create ~config () in
+        let r =
+          Gbc_scheme.Scheme.eval mach
+            "(define (build n) (if (zero? n) '() (cons (vector n (number->string n)) (build (- n 1)))))\n\
+             (define data (build 2000))\n\
+             (define (checksum l)\n\
+               (if (null? l) 0\n\
+                   (+ (vector-ref (car l) 0)\n\
+                      (string-length (vector-ref (car l) 1))\n\
+                      (checksum (cdr l)))))\n\
+             (checksum data)"
+        in
+        (* sum 1..500 + total digits *)
+        let digits n = String.length (string_of_int n) in
+        let expect =
+          List.fold_left (fun a n -> a + n + digits n) 0 (List.init 2000 (fun i -> i + 1))
+        in
+        check_str "checksum" (string_of_int expect) r;
+        check "many collections happened" true
+          ((Heap.stats (Machine.heap mach)).Stats.total.Stats.collections > 10);
+        Machine.dispose mach);
+    Alcotest.test_case "closures survive collections" `Quick (fun () ->
+        let open Gbc_runtime in
+        let config = Config.v ~gen0_trigger_words:512 () in
+        let mach = Gbc_scheme.Scheme.create ~config () in
+        let r =
+          Gbc_scheme.Scheme.eval mach
+            "(define (make-adders n)\n\
+               (if (zero? n) '() (cons (lambda (x) (+ x n)) (make-adders (- n 1)))))\n\
+             (define adders (make-adders 100))\n\
+             (fold-left + 0 (map (lambda (f) (f 1000)) adders))"
+        in
+        check_str "sum" (string_of_int ((100 * 1000) + (100 * 101 / 2))) r;
+        Machine.dispose mach);
+    Alcotest.test_case "guardians inside stressed machine" `Quick (fun () ->
+        let open Gbc_runtime in
+        let config = Config.v ~gen0_trigger_words:1024 ~max_generation:2 () in
+        let mach = Gbc_scheme.Scheme.create ~config () in
+        let r =
+          Gbc_scheme.Scheme.eval mach
+            "(define G (make-guardian))\n\
+             (define (churn n)\n\
+               (unless (zero? n)\n\
+                 (G (cons n n))\n\
+                 (churn (- n 1))))\n\
+             (churn 200)\n\
+             (collect 2) (collect 2)\n\
+             (define (drain acc) (let ([x (G)]) (if x (drain (+ acc 1)) acc)))\n\
+             (drain 0)"
+        in
+        check_str "all 200 recovered" "200" r;
+        Machine.dispose mach);
+  ]
+
+let output =
+  [
+    Alcotest.test_case "display/write/newline" `Quick (fun () ->
+        let out =
+          Scheme.eval_output (Lazy.force m)
+            "(display \"x=\") (display 42) (newline) (write #\\a) (write \"s\")"
+        in
+        check_str "console" "x=42\n#\\a\"s\"" out);
+    Alcotest.test_case "ports from scheme" `Quick (fun () ->
+        let mach = Lazy.force m in
+        ignore
+          (Machine.eval_string mach
+             "(define po (open-output-file \"t.txt\"))\n              (display 'written po) (flush-output-port po) (close-output-port po)\n              (define pi (open-input-file \"t.txt\"))");
+        check_str "read back" "#\\w" (ev "(read-char pi)");
+        check_str "second" "#\\r" (ev "(read-char pi)");
+        ignore (ev "(close-input-port pi)");
+        check_str "eof detect" "#t"
+          (ev "(define pj (open-input-file \"t.txt\")) (do ([c (read-char pj) (read-char pj)] [n 0 (+ n 1)]) ((eof-object? c) (= n 7)))"));
+  ]
+
+let gc_integration =
+  [
+    t "collect runs" "(begin (collect) (collect 2) 'ok)" "ok";
+    t "gc-count positive" "(> (gc-count) 0)" "#t";
+    t "eq-hash fixnum stable" "(= (eq-hash 42) (eq-hash 42))" "#t";
+    t "data survives collections"
+      "(define keepme (list 1 2 (vector 'a \"b\") (cons 3.5 #\\c))) (collect 4) (collect 4) keepme"
+      "(1 2 #(a \"b\") (3.5 . #\\c))";
+    t "deep structure survives"
+      "(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (define big (build 1000)) (collect 4) (length big)"
+      "1000";
+    t "allocation pressure triggers gc"
+      "(define before (gc-count)) (let loop ([i 0]) (unless (= i 100000) (cons i i) (loop (+ i 1)))) (> (gc-count) before)"
+      "#t";
+  ]
+
+let errors =
+  [
+    t "with-error-handler catches" "(with-error-handler (lambda (m) 'caught) (lambda () (car 5)))"
+      "caught";
+    t "with-error-handler passthrough" "(with-error-handler (lambda (m) 'no) (lambda () 'ok))"
+      "ok";
+    t "handler receives message"
+      "(with-error-handler (lambda (m) (string? m)) (lambda () (error \"boom\")))" "#t";
+    t "machine usable after caught error"
+      "(with-error-handler (lambda (m) 'x) (lambda () (vector-ref (vector) 5)))\n(+ 1 2)" "3";
+    t "nested handlers"
+      "(with-error-handler (lambda (m) 'outer)\n\
+      \  (lambda ()\n\
+      \    (with-error-handler (lambda (m) 'inner) (lambda () (car '())))))"
+      "inner";
+    t "error inside handler propagates to outer"
+      "(with-error-handler (lambda (m) 'outer)\n\
+      \  (lambda ()\n\
+      \    (with-error-handler (lambda (m) (cdr 7)) (lambda () (car '())))))"
+      "outer";
+    t "failing cleanup does not stop others (paper design question)"
+      "(define Ge (make-guardian)) (define ge-good 0)\n\
+       (Ge (cons 'bad 1)) (Ge (cons 'good 2)) (Ge (cons 'good 3))\n\
+       (collect 4)\n\
+       (define (run-cleanups)\n\
+      \  (let ([x (Ge)])\n\
+      \    (when x\n\
+      \      (with-error-handler (lambda (m) 'suppressed)\n\
+      \        (lambda ()\n\
+      \          (when (eq? (car x) 'bad) (error \"cleanup failed\"))\n\
+      \          (set! ge-good (+ ge-good 1))))\n\
+      \      (run-cleanups))))\n\
+       (run-cleanups)\n\
+       ge-good"
+      "2";
+    Alcotest.test_case "error primitive" `Quick (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec loop i = i + nn <= nh && (String.sub hay i nn = needle || loop (i + 1)) in
+          loop 0
+        in
+        match ev "(error \"custom\" 'irritant 42)" with
+        | exception Machine.Error msg -> check "message content" true (contains msg "custom")
+        | v -> Alcotest.failf "expected error, got %s" v);
+    Alcotest.test_case "machine recovers after error" `Quick (fun () ->
+        let mach = Lazy.force m in
+        (try ignore (Machine.eval_string mach "(car 5)") with Machine.Error _ -> Machine.reset mach);
+        check_str "still works" "4" (ev "(+ 2 2)"));
+  ]
+
+let () =
+  Alcotest.run "scheme_eval"
+    [
+      ("basics", basics);
+      ("arithmetic", arithmetic);
+      ("bindings", bindings);
+      ("control", control);
+      ("procedures", procedures);
+      ("data", data);
+      ("continuations", continuations);
+      ("quasiquote", quasiquote);
+      ("reading", reading);
+      ("extended prims", extended_prims);
+      ("records", records);
+      ("hashtables", hashtables);
+      ("gc stress", gc_stress);
+      ("output", output);
+      ("gc integration", gc_integration);
+      ("errors", errors);
+    ]

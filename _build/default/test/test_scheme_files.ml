@@ -1,0 +1,93 @@
+(* Run the bundled .scm example scripts end-to-end and check their printed
+   output (the same files `bin/gbc_scheme.exe` runs). *)
+
+open Gbc_scheme
+
+let check_str = Alcotest.(check string)
+
+(* Locate examples/scheme by walking up from the test's working directory
+   (tests run inside _build; the scripts live in the source tree). *)
+let script_dir =
+  let rec search dir depth =
+    if depth > 8 then failwith "examples/scheme not found"
+    else
+      let candidate = Filename.concat dir "examples/scheme" in
+      if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+      else search (Filename.dirname dir) (depth + 1)
+  in
+  search (Sys.getcwd ()) 0
+
+let run_script name =
+  let path = Filename.concat script_dir name in
+  let ic = open_in path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let m = Scheme.create () in
+  let out = Scheme.eval_output m src in
+  Machine.dispose m;
+  out
+
+let test_guardians () =
+  check_str "transcript output"
+    "before drop: #f\n\
+     after drop: (a . b)\n\
+     queue now empty: #f\n\
+     twice registered, first: (c . d)\n\
+     twice registered, second: (c . d)\n\
+     guardian A: (e . f)\n\
+     guardian B: (e . f)\n\
+     same object: #t\n\
+     inner guardian's object: (g . h)\n"
+    (run_script "guardians.scm")
+
+let test_guarded_table () =
+  check_str "table output"
+    "live keys still present: (99 98 97 96 95)\nwindow size: 5\n"
+    (run_script "guarded-table.scm")
+
+let test_wills () =
+  check_str "wills output"
+    "session live; wills ready? #f\n\
+     session dropped; running will:\n\
+     closing session-42\n\
+     wills remaining? #f\n"
+    (run_script "wills.scm")
+
+let test_ports () =
+  check_str "ports output"
+    "ports closed by the guardian: 30\nout7 contains: record 7\n"
+    (run_script "ports.scm")
+
+let test_nonlocal_exit () =
+  check_str "nonlocal exit output"
+    "run 1 (no abort): completed\n\
+     run 2 (abort at c): (aborted-at c)\n\
+     recovered log: a b \n"
+    (run_script "nonlocal-exit.scm")
+
+let test_selftest () =
+  check_str "self-test output" "self-test: 72 passed, 0 failed\n"
+    (run_script "selftest.scm")
+
+let test_metacircular () =
+  check_str "metacircular output"
+    "meta factorial 10 = 3628800\n\
+     meta guardian session:\n\
+    \  before drop: #f\n\
+    \  after drop:  (a . b)\n"
+    (run_script "metacircular.scm")
+
+let () =
+  Alcotest.run "scheme_files"
+    [
+      ( "scripts",
+        [
+          Alcotest.test_case "guardians.scm" `Quick test_guardians;
+          Alcotest.test_case "guarded-table.scm" `Quick test_guarded_table;
+          Alcotest.test_case "wills.scm" `Quick test_wills;
+          Alcotest.test_case "ports.scm" `Quick test_ports;
+          Alcotest.test_case "metacircular.scm" `Quick test_metacircular;
+          Alcotest.test_case "nonlocal-exit.scm" `Quick test_nonlocal_exit;
+          Alcotest.test_case "selftest.scm" `Quick test_selftest;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+(* Symbol interning and the Friedman-Wise oblist-entry elimination. *)
+
+open Gbc_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let heap () = Heap.create ()
+
+let test_interning () =
+  let h = heap () in
+  let st = Symtab.create h in
+  let a = Symtab.intern st "foo" in
+  let b = Symtab.intern st "foo" in
+  let c = Symtab.intern st "bar" in
+  check "same symbol" true (Word.equal a b);
+  check "different symbol" false (Word.equal a c);
+  Alcotest.(check string) "name" "foo" (Obj.symbol_name_string h a);
+  check_int "two entries" 2 (Symtab.count st)
+
+let test_interning_survives_gc () =
+  let h = heap () in
+  let st = Symtab.create h in
+  let a = Handle.create h (Symtab.intern st "keep") in
+  ignore (Collector.collect h ~gen:0);
+  let b = Symtab.intern st "keep" in
+  check "same identity after gc" true (Word.equal (Handle.get a) b);
+  Handle.free a
+
+let test_dead_symbols_pruned () =
+  (* The Friedman-Wise behaviour: symbols referenced from nowhere are
+     reclaimed and their oblist entries removed. *)
+  let h = heap () in
+  let st = Symtab.create h in
+  let keep = Handle.create h (Symtab.intern st "live") in
+  for i = 0 to 9 do
+    ignore (Symtab.intern st (Printf.sprintf "dead%d" i))
+  done;
+  check_int "all present" 11 (Symtab.count st);
+  ignore (Collector.collect h ~gen:(Heap.max_generation h));
+  check_int "dead pruned" 1 (Symtab.count st);
+  check "live kept" true (Symtab.mem st "live");
+  check "dead gone" false (Symtab.mem st "dead3");
+  (* Re-interning after pruning yields a fresh, working symbol. *)
+  let d = Symtab.intern st "dead3" in
+  Alcotest.(check string) "reborn" "dead3" (Obj.symbol_name_string h d);
+  Handle.free keep
+
+let test_symbol_global_slot () =
+  let h = heap () in
+  let st = Symtab.create h in
+  let s = Symtab.intern st "var" in
+  check_int "initially unset" (-1) (Obj.symbol_global h s);
+  Obj.symbol_set_global h s 42;
+  check_int "set" 42 (Obj.symbol_global h s)
+
+let prop_intern_identity =
+  QCheck.Test.make ~name:"intern is idempotent per name" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 20) (string_gen_of_size (QCheck.Gen.int_range 1 8) QCheck.Gen.printable))
+    (fun names ->
+      let h = heap () in
+      let st = Symtab.create h in
+      List.for_all
+        (fun n -> Word.equal (Symtab.intern st n) (Symtab.intern st n))
+        names)
+
+let () =
+  Alcotest.run "symtab"
+    [
+      ( "interning",
+        [
+          Alcotest.test_case "basic" `Quick test_interning;
+          Alcotest.test_case "survives gc" `Quick test_interning_survives_gc;
+          Alcotest.test_case "Friedman-Wise pruning" `Quick test_dead_symbols_pruned;
+          Alcotest.test_case "global slot" `Quick test_symbol_global_slot;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_intern_identity ]);
+    ]

@@ -1,0 +1,170 @@
+(* Property-based differential tests: the table structures (guarded table,
+   eq table in both rehash strategies, weak eq table) against plain OCaml
+   association models, under random operations interleaved with random
+   collections and key deaths. *)
+
+open Gbc_runtime
+module Guarded_table = Gbc.Guarded_table
+module Eq_table = Gbc.Eq_table
+module Weak_eq_table = Gbc.Weak_eq_table
+
+let cfg = Config.v ~segment_words:128 ~max_generation:2 ()
+let fx = Word.of_fixnum
+
+(* Keys are heap pairs (id . id) tracked by handles; the model is keyed by
+   the integer id. *)
+type keyed = { id : int; handle : Handle.t; mutable dead : bool }
+
+type op =
+  | Insert of int * int  (* key seed, value *)
+  | Lookup of int
+  | Remove of int
+  | Kill of int  (* drop a key's handle *)
+  | Gc of int
+
+let op_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, map2 (fun a b -> Insert (a, b)) small_nat small_nat);
+      (3, map (fun a -> Lookup a) small_nat);
+      (1, map (fun a -> Remove a) small_nat);
+      (2, map (fun a -> Kill a) small_nat);
+      (2, map (fun g -> Gc (g mod 3)) small_nat);
+    ]
+
+let pp_op = function
+  | Insert (a, b) -> Printf.sprintf "Insert(%d,%d)" a b
+  | Lookup a -> Printf.sprintf "Lookup(%d)" a
+  | Remove a -> Printf.sprintf "Remove(%d)" a
+  | Kill a -> Printf.sprintf "Kill(%d)" a
+  | Gc g -> Printf.sprintf "Gc(%d)" g
+
+(* Shared driver: [ops] are interpreted against a table via the callbacks
+   and against a (int -> int) model; live keys are compared after every
+   step.  [removal] distinguishes tables with a remove operation. *)
+let drive ~set ~lookup ~remove ~on_kill h ops =
+  let keys : (int, keyed) Hashtbl.t = Hashtbl.create 16 in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let pick seed =
+    let live = Hashtbl.fold (fun _ k acc -> if k.dead then acc else k :: acc) keys [] in
+    match live with
+    | [] -> None
+    | _ ->
+        let live = List.sort (fun a b -> compare a.id b.id) live in
+        Some (List.nth live (abs seed mod List.length live))
+  in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert (seed, v) ->
+          (* Half the time reuse an existing key, half create a fresh one. *)
+          let k =
+            if seed mod 2 = 0 then
+              match pick seed with
+              | Some k -> k
+              | None ->
+                  let id = !next in
+                  incr next;
+                  let k = { id; handle = Handle.create h (Obj.cons h (fx id) (fx id)); dead = false } in
+                  Hashtbl.add keys id k;
+                  k
+            else begin
+              let id = !next in
+              incr next;
+              let k = { id; handle = Handle.create h (Obj.cons h (fx id) (fx id)); dead = false } in
+              Hashtbl.add keys id k;
+              k
+            end
+          in
+          set (Handle.get k.handle) (fx v);
+          Hashtbl.replace model k.id v
+      | Lookup seed -> (
+          match pick seed with
+          | None -> ()
+          | Some k -> (
+              let got = lookup (Handle.get k.handle) in
+              match (got, Hashtbl.find_opt model k.id) with
+              | Some w, Some v -> if Word.to_fixnum w <> v then ok := false
+              | None, None -> ()
+              | Some _, None | None, Some _ -> ok := false))
+      | Remove seed -> (
+          match pick seed with
+          | None -> ()
+          | Some k ->
+              remove (Handle.get k.handle);
+              Hashtbl.remove model k.id)
+      | Kill seed -> (
+          match pick seed with
+          | None -> ()
+          | Some k ->
+              k.dead <- true;
+              Handle.free k.handle;
+              on_kill model k.id)
+      | Gc g -> ignore (Collector.collect h ~gen:g))
+    ops;
+  (* Final check over every live key. *)
+  Hashtbl.iter
+    (fun id k ->
+      if not k.dead then
+        match (lookup (Handle.get k.handle), Hashtbl.find_opt model id) with
+        | Some w, Some v -> if Word.to_fixnum w <> v then ok := false
+        | None, None -> ()
+        | _ -> ok := false)
+    keys;
+  Hashtbl.iter (fun _ k -> if not k.dead then Handle.free k.handle) keys;
+  !ok
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 5 80) op_gen)
+
+let prop_guarded_table =
+  QCheck.Test.make ~name:"guarded table matches model" ~count:150 ops_arbitrary
+    (fun ops ->
+      let h = Heap.create ~config:cfg () in
+      let stable_hash h w = if Word.is_pair_ptr w then Word.to_fixnum (Obj.car h w) else 0 in
+      let t = Guarded_table.create h ~hash:stable_hash ~size:8 in
+      drive h ops
+        ~set:(fun k v -> Guarded_table.set t k v)
+        ~lookup:(fun k -> Guarded_table.lookup t k)
+        ~remove:(fun k -> Guarded_table.remove t k)
+        ~on_kill:(fun model id -> Hashtbl.remove model id)
+      (* dead keys leave the model too: the guardian expunges them *))
+
+let prop_eq_table strategy name =
+  QCheck.Test.make ~name ~count:150 ops_arbitrary (fun ops ->
+      let h = Heap.create ~config:cfg () in
+      let t = Eq_table.create h ~strategy ~size:8 in
+      drive h ops
+        ~set:(fun k v -> Eq_table.set t k v)
+        ~lookup:(fun k -> Eq_table.lookup t k)
+        ~remove:(fun k -> Eq_table.remove t k)
+        ~on_kill:(fun _ _ -> () (* strong table: entries persist *)))
+
+let prop_weak_eq_table =
+  QCheck.Test.make ~name:"weak eq table matches model" ~count:150 ops_arbitrary
+    (fun ops ->
+      let h = Heap.create ~config:cfg () in
+      let t = Weak_eq_table.create h ~size:8 in
+      drive h ops
+        ~set:(fun k v -> Weak_eq_table.set t k v)
+        ~lookup:(fun k -> Weak_eq_table.lookup t k)
+        ~remove:(fun k -> Weak_eq_table.remove t k)
+        ~on_kill:(fun model id -> Hashtbl.remove model id))
+
+let () =
+  Alcotest.run "table_props"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_guarded_table;
+            prop_eq_table `Full_rehash "eq table (full rehash) matches model";
+            prop_eq_table `Transport "eq table (transport) matches model";
+            prop_weak_eq_table;
+          ] );
+    ]

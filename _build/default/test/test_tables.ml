@@ -1,0 +1,265 @@
+(* Guarded hash tables (Figure 1 / E2, E3), eq tables and transport
+   guardians (E4). *)
+
+open Gbc_runtime
+module Guarded_table = Gbc.Guarded_table
+module Eq_table = Gbc.Eq_table
+module Transport_guardian = Gbc.Transport_guardian
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = Config.v ~segment_words:128 ~max_generation:3 ()
+let heap () = Heap.create ~config:cfg ()
+let fx = Word.of_fixnum
+let full_collect h = ignore (Collector.collect h ~gen:(Heap.max_generation h))
+
+(* Keys are pairs (id . id): collectable objects with a GC-stable content
+   hash. *)
+let key h i = Obj.cons h (fx i) (fx i)
+let stable_hash h w = if Word.is_pair_ptr w then Word.to_fixnum (Obj.car h w) else 0
+
+let make_table ?guarded h = Guarded_table.create ?guarded h ~hash:stable_hash ~size:16
+
+let test_basic_access () =
+  let h = heap () in
+  let t = make_table h in
+  let k1 = Handle.create h (key h 1) in
+  let k2 = Handle.create h (key h 2) in
+  check_int "insert 1" 10 (Word.to_fixnum (Guarded_table.access t (Handle.get k1) (fx 10)));
+  check_int "insert 2" 20 (Word.to_fixnum (Guarded_table.access t (Handle.get k2) (fx 20)));
+  (* Figure 1 semantics: existing key returns the existing value. *)
+  check_int "existing" 10 (Word.to_fixnum (Guarded_table.access t (Handle.get k1) (fx 99)));
+  check_int "count" 2 (Guarded_table.count t);
+  check "lookup" true (Guarded_table.lookup t (Handle.get k2) <> None);
+  check "lookup missing" true (Guarded_table.lookup t (key h 3) = None)
+
+let test_set_replaces () =
+  let h = heap () in
+  let t = make_table h in
+  let k = Handle.create h (key h 1) in
+  Guarded_table.set t (Handle.get k) (fx 1);
+  Guarded_table.set t (Handle.get k) (fx 2);
+  check_int "replaced" 2 (Word.to_fixnum (Option.get (Guarded_table.lookup t (Handle.get k))));
+  check_int "count 1" 1 (Guarded_table.count t)
+
+let test_dead_keys_removed () =
+  let h = heap () in
+  let t = make_table h in
+  let live = Handle.create h (key h 1) in
+  Guarded_table.set t (Handle.get live) (fx 100);
+  for i = 2 to 20 do
+    Guarded_table.set t (key h i) (fx (i * 10))
+  done;
+  check_int "full" 20 (Guarded_table.count t);
+  full_collect h;
+  (* Next access expunges the dead 19. *)
+  check_int "live still there" 100
+    (Word.to_fixnum (Option.get (Guarded_table.lookup t (Handle.get live))));
+  check_int "only live left" 1 (Guarded_table.count t);
+  check_int "expunged" 19 (Guarded_table.expunged t)
+
+let test_unguarded_leaks () =
+  (* The contrast for E3: without the shaded Figure-1 code the associations
+     of dead keys stay forever. *)
+  let h = heap () in
+  let t = make_table ~guarded:false h in
+  for i = 0 to 19 do
+    Guarded_table.set t (key h i) (fx i)
+  done;
+  full_collect h;
+  ignore (Guarded_table.lookup t (key h 100));
+  check_int "nothing removed" 20 (Guarded_table.count t);
+  (* The keys really are gone: their weak cars broke. *)
+  check_int "stale entries" 20 (Guarded_table.stale_count t)
+
+let test_table_does_not_retain_keys () =
+  let h = heap () in
+  let t = make_table h in
+  let words_before = Heap.live_words h in
+  for i = 0 to 9 do
+    Guarded_table.set t (key h i) (Obj.make_vector h ~len:20 ~init:Word.nil)
+  done;
+  full_collect h;
+  ignore (Guarded_table.lookup t (key h 50));
+  full_collect h;
+  full_collect h;
+  (* Keys and their big values were reclaimed; only table spine remains. *)
+  check "values reclaimed" true (Heap.live_words h < words_before + 100)
+
+let test_reinsert_after_death () =
+  let h = heap () in
+  let t = make_table h in
+  Guarded_table.set t (key h 7) (fx 1);
+  full_collect h;
+  (* Same logical key (same hash, different object). *)
+  let k = Handle.create h (key h 7) in
+  Guarded_table.set t (Handle.get k) (fx 2);
+  check_int "fresh entry" 2 (Word.to_fixnum (Option.get (Guarded_table.lookup t (Handle.get k))));
+  check_int "exactly one" 1 (Guarded_table.count t)
+
+let test_expunge_cost_proportional_to_deaths () =
+  (* E2: the cost of an access is O(dead keys since last access), not
+     O(table size). *)
+  let h = heap () in
+  let t = make_table h in
+  let keep = Handle.create h Word.nil in
+  for i = 0 to 199 do
+    let k = key h i in
+    Handle.set keep (Obj.cons h k (Handle.get keep));
+    Guarded_table.set t k (fx i)
+  done;
+  full_collect h;
+  ignore (Guarded_table.lookup t (key h 1000));
+  let steps_no_deaths = Guarded_table.expunge_steps t in
+  check_int "no deaths, no expunge work" 0 steps_no_deaths;
+  (* Kill 3 keys. *)
+  let rec drop l n = if n = 0 then l else drop (Obj.cdr h l) (n - 1) in
+  Handle.set keep (drop (Handle.get keep) 3);
+  full_collect h;
+  ignore (Guarded_table.lookup t (key h 1000));
+  check_int "three deaths expunged" 3 (Guarded_table.expunged t);
+  check "work bounded by bucket lengths, not table size" true
+    (Guarded_table.expunge_steps t < 200)
+
+(* ------------------------------------------------------------------ *)
+(* Transport guardians                                                 *)
+
+let test_transport_reports_moves () =
+  let h = heap () in
+  let tg = Transport_guardian.create h in
+  let x = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  Transport_guardian.register tg (Handle.get x);
+  check "quiet before gc" true (Transport_guardian.poll tg = None);
+  ignore (Collector.collect h ~gen:0);
+  (match Transport_guardian.poll tg with
+  | Some (obj, _) -> check "the moved object" true (Word.equal obj (Handle.get x))
+  | None -> Alcotest.fail "expected a transport report");
+  check "one report per collection" true (Transport_guardian.poll tg = None)
+
+let test_transport_ages_with_object () =
+  (* Generation-friendliness: once the object is old, minor collections no
+     longer report it. *)
+  let h = heap () in
+  let tg = Transport_guardian.create h in
+  let x = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  Transport_guardian.register tg (Handle.get x);
+  (* Age object and marker together: each full poll re-registers. *)
+  ignore (Collector.collect h ~gen:0);
+  ignore (Transport_guardian.poll tg);
+  ignore (Collector.collect h ~gen:1);
+  ignore (Transport_guardian.poll tg);
+  ignore (Collector.collect h ~gen:2);
+  while Transport_guardian.poll tg <> None do () done;
+  check "object now old" true (Heap.generation_of_word h (Handle.get x) >= 2);
+  (* A minor collection does not move it and must not report it. *)
+  ignore (Collector.collect h ~gen:0);
+  check "old object not reported by minor gc" true (Transport_guardian.poll tg = None);
+  (* But a full collection does. *)
+  full_collect h;
+  check "full gc reports it" true (Transport_guardian.poll tg <> None)
+
+let test_transport_drops_dead () =
+  let h = heap () in
+  let tg = Transport_guardian.create h in
+  Transport_guardian.register tg (Obj.cons h (fx 1) Word.nil);
+  full_collect h;
+  check "dead object never reported" true (Transport_guardian.poll tg = None)
+
+let test_transport_does_not_retain () =
+  let h = heap () in
+  let tg = Transport_guardian.create h in
+  let before = Heap.live_words h in
+  Transport_guardian.register tg (Obj.make_vector h ~len:100 ~init:Word.nil);
+  full_collect h;
+  ignore (Transport_guardian.poll tg);
+  full_collect h;
+  check "registered object reclaimable" true (Heap.live_words h < before + 50)
+
+(* ------------------------------------------------------------------ *)
+(* Eq tables                                                           *)
+
+let eq_roundtrip strategy () =
+  let h = heap () in
+  let t = Eq_table.create h ~strategy ~size:8 in
+  let keys = List.init 20 (fun i -> Handle.create h (Obj.cons h (fx i) Word.nil)) in
+  List.iteri (fun i k -> Eq_table.set t (Handle.get k) (fx (i * 100))) keys;
+  check_int "count" 20 (Eq_table.count t);
+  (* Collections move every key; lookups must still succeed. *)
+  ignore (Collector.collect h ~gen:0);
+  List.iteri
+    (fun i k ->
+      match Eq_table.lookup t (Handle.get k) with
+      | Some v -> check_int "value" (i * 100) (Word.to_fixnum v)
+      | None -> Alcotest.fail "lost key after collection")
+    keys;
+  full_collect h;
+  full_collect h;
+  List.iteri
+    (fun i k ->
+      check_int "after full gcs" (i * 100)
+        (Word.to_fixnum (Option.get (Eq_table.lookup t (Handle.get k)))))
+    keys;
+  (* Update and remove still work. *)
+  let k0 = List.hd keys in
+  Eq_table.set t (Handle.get k0) (fx 1);
+  check_int "updated" 1 (Word.to_fixnum (Option.get (Eq_table.lookup t (Handle.get k0))));
+  Eq_table.remove t (Handle.get k0);
+  check "removed" true (Eq_table.lookup t (Handle.get k0) = None);
+  check_int "count after remove" 19 (Eq_table.count t)
+
+let test_transport_rehash_cheaper_for_old_keys () =
+  (* E4: with keys promoted old, a minor collection costs the full-rehash
+     table O(table) and the transport table ~0. *)
+  let n = 200 in
+  let run strategy =
+    let h = heap () in
+    let t = Eq_table.create h ~strategy ~size:64 in
+    let keys = List.init n (fun i -> Handle.create h (Obj.cons h (fx i) Word.nil)) in
+    List.iteri (fun i k -> Eq_table.set t (Handle.get k) (fx i)) keys;
+    (* Promote keys to an old generation, resolving transports each time. *)
+    ignore (Collector.collect h ~gen:0);
+    ignore (Eq_table.lookup t (Handle.get (List.hd keys)));
+    ignore (Collector.collect h ~gen:1);
+    ignore (Eq_table.lookup t (Handle.get (List.hd keys)));
+    ignore (Collector.collect h ~gen:2);
+    ignore (Eq_table.lookup t (Handle.get (List.hd keys)));
+    let before = Eq_table.rehash_work t in
+    (* Now a minor collection that does not move the old keys. *)
+    ignore (Collector.collect h ~gen:0);
+    ignore (Eq_table.lookup t (Handle.get (List.hd keys)));
+    Eq_table.rehash_work t - before
+  in
+  let full = run `Full_rehash in
+  let transport = run `Transport in
+  check_int "full rehash pays the whole table" 200 full;
+  check_int "transport pays nothing for old keys" 0 transport
+
+let () =
+  Alcotest.run "tables"
+    [
+      ( "guarded table (Figure 1)",
+        [
+          Alcotest.test_case "access" `Quick test_basic_access;
+          Alcotest.test_case "set" `Quick test_set_replaces;
+          Alcotest.test_case "dead keys removed" `Quick test_dead_keys_removed;
+          Alcotest.test_case "unguarded leaks" `Quick test_unguarded_leaks;
+          Alcotest.test_case "does not retain keys" `Quick test_table_does_not_retain_keys;
+          Alcotest.test_case "reinsert" `Quick test_reinsert_after_death;
+          Alcotest.test_case "expunge cost (E2)" `Quick test_expunge_cost_proportional_to_deaths;
+        ] );
+      ( "transport guardian",
+        [
+          Alcotest.test_case "reports moves" `Quick test_transport_reports_moves;
+          Alcotest.test_case "ages with object" `Quick test_transport_ages_with_object;
+          Alcotest.test_case "drops dead" `Quick test_transport_drops_dead;
+          Alcotest.test_case "does not retain" `Quick test_transport_does_not_retain;
+        ] );
+      ( "eq table",
+        [
+          Alcotest.test_case "roundtrip (full rehash)" `Quick (eq_roundtrip `Full_rehash);
+          Alcotest.test_case "roundtrip (transport)" `Quick (eq_roundtrip `Transport);
+          Alcotest.test_case "transport cheaper (E4)" `Quick
+            test_transport_rehash_cheaper_for_old_keys;
+        ] );
+    ]

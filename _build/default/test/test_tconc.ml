@@ -1,0 +1,229 @@
+(* Tconc queues (paper Figures 2-4) and the lock-freedom interleaving
+   checker (DESIGN.md D3 / experiment E9). *)
+
+open Gbc_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fx = Word.of_fixnum
+let heap () = Heap.create ()
+
+let to_ints h tc = List.map Word.to_fixnum (Tconc.to_list h tc)
+
+let test_empty () =
+  let h = heap () in
+  let tc = Tconc.make h in
+  check "fresh empty" true (Tconc.is_empty h tc);
+  check_int "length 0" 0 (Tconc.length h tc);
+  check "dequeue empty" true (Tconc.dequeue h tc = None)
+
+let test_fifo () =
+  let h = heap () in
+  let tc = Tconc.make h in
+  List.iter (fun i -> Tconc.mutator_enqueue h tc (fx i)) [ 1; 2; 3 ];
+  check_int "length" 3 (Tconc.length h tc);
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ] (to_ints h tc);
+  check_int "deq 1" 1 (Word.to_fixnum (Option.get (Tconc.dequeue h tc)));
+  check_int "deq 2" 2 (Word.to_fixnum (Option.get (Tconc.dequeue h tc)));
+  Tconc.mutator_enqueue h tc (fx 4);
+  check_int "deq 3" 3 (Word.to_fixnum (Option.get (Tconc.dequeue h tc)));
+  check_int "deq 4" 4 (Word.to_fixnum (Option.get (Tconc.dequeue h tc)));
+  check "empty again" true (Tconc.dequeue h tc = None)
+
+let test_survives_gc () =
+  let h = heap () in
+  let c = Handle.create h (Tconc.make h) in
+  List.iter (fun i -> Tconc.mutator_enqueue h (Handle.get c) (fx i)) [ 1; 2; 3 ];
+  ignore (Collector.collect h ~gen:0);
+  ignore (Collector.collect h ~gen:1);
+  Alcotest.(check (list int)) "contents survive" [ 1; 2; 3 ] (to_ints h (Handle.get c))
+
+let test_dequeued_cell_cleared () =
+  (* The abandoned front cell's fields are cleared so an old cell does not
+     retain young storage (paper Section 4). *)
+  let h = heap () in
+  let tc = Tconc.make h in
+  let front_cell = Obj.car h tc in
+  Tconc.mutator_enqueue h tc (fx 1);
+  ignore (Tconc.dequeue h tc);
+  check "car cleared" true (Word.is_false (Obj.car h front_cell));
+  check "cdr cleared" true (Word.is_false (Obj.cdr h front_cell))
+
+(* --- interleaving: atomic collector enqueue at every point of the
+       mutator's step-decomposed dequeue ------------------------------- *)
+
+let interleave_enqueue_in_dequeue ~initial ~pause_at =
+  let h = heap () in
+  let tc = Tconc.make h in
+  List.iter (fun i -> Tconc.mutator_enqueue h tc (fx i)) initial;
+  let d = Tconc.Dequeue.start tc in
+  let steps_done = ref 0 in
+  let result = ref None in
+  let finished = ref false in
+  while not !finished do
+    if !steps_done = pause_at then
+      (* The collector interrupts here and appends atomically. *)
+      Tconc.enqueue_with h ~alloc_pair:(fun a b -> Obj.cons h a b) tc (fx 99);
+    match Tconc.Dequeue.step h d with
+    | `More -> incr steps_done
+    | `Done r ->
+        result := r;
+        finished := true
+  done;
+  (* If we never reached pause_at (early Done), enqueue afterwards so the
+     final queue check still applies. *)
+  if !steps_done < pause_at && pause_at <= Tconc.Dequeue.total_steps then
+    Tconc.enqueue_with h ~alloc_pair:(fun a b -> Obj.cons h a b) tc (fx 99);
+  (Option.map Word.to_fixnum !result, to_ints h tc)
+
+let test_interleaving_nonempty () =
+  (* Queue [1;2]: whatever the interruption point, dequeue yields 1 and the
+     queue ends as [2;99]. *)
+  for pause = 0 to Tconc.Dequeue.total_steps do
+    let result, remaining = interleave_enqueue_in_dequeue ~initial:[ 1; 2 ] ~pause_at:pause in
+    check_int (Printf.sprintf "pause %d: dequeued front" pause) 1 (Option.get result);
+    Alcotest.(check (list int))
+      (Printf.sprintf "pause %d: remaining" pause)
+      [ 2; 99 ] remaining
+  done
+
+let test_interleaving_empty () =
+  (* Empty queue: the element appended mid-dequeue must never be lost, and
+     the dequeue result is either None (append came after the emptiness
+     check) or the fresh element. *)
+  for pause = 0 to Tconc.Dequeue.total_steps do
+    let result, remaining = interleave_enqueue_in_dequeue ~initial:[] ~pause_at:pause in
+    match result with
+    | None ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "pause %d: element kept" pause)
+          [ 99 ] remaining
+    | Some v ->
+        check_int (Printf.sprintf "pause %d: got fresh element" pause) 99 v;
+        Alcotest.(check (list int)) (Printf.sprintf "pause %d: empty" pause) [] remaining
+  done
+
+let test_interleaving_single () =
+  (* Queue [1]: near-empty is the delicate case — the cell being consumed is
+     also the cell the collector appends through. *)
+  for pause = 0 to Tconc.Dequeue.total_steps do
+    let result, remaining = interleave_enqueue_in_dequeue ~initial:[ 1 ] ~pause_at:pause in
+    check_int (Printf.sprintf "pause %d: dequeued" pause) 1 (Option.get result);
+    Alcotest.(check (list int)) (Printf.sprintf "pause %d: rest" pause) [ 99 ] remaining
+  done
+
+(* --- the other direction: a full dequeue interposed between the steps of
+       a step-decomposed enqueue — publish-last is safe, publish-first is
+       not ---------------------------------------------------------------- *)
+
+let enqueue_with_dequeue_at ~order ~initial ~pause_at =
+  let h = heap () in
+  let tc = Tconc.make h in
+  List.iter (fun i -> Tconc.mutator_enqueue h tc (fx i)) initial;
+  let e = Tconc.Enqueue.start h ~order tc (fx 99) in
+  let dequeued = ref [] in
+  (* A dequeued non-fixnum is the half-installed cell's don't-care value:
+     report it as the phantom -1. *)
+  let observe w = if Word.is_fixnum w then Word.to_fixnum w else -1 in
+  for s = 0 to Tconc.Enqueue.total_steps - 1 do
+    if s = pause_at then begin
+      match Tconc.dequeue h tc with
+      | Some w -> dequeued := observe w :: !dequeued
+      | None -> ()
+    end;
+    ignore (Tconc.Enqueue.step h e)
+  done;
+  let remaining =
+    (* Robust traversal: a broken ordering can leave the queue structurally
+       corrupt (header pointing at a non-pair); report -2 when that
+       happens instead of crashing. *)
+    let last = Obj.cdr h tc in
+    let rec loop cell acc fuel =
+      if fuel = 0 then List.rev (-2 :: acc)
+      else if Word.equal cell last then List.rev acc
+      else if not (Word.is_pair_ptr cell) then List.rev (-2 :: acc)
+      else loop (Obj.cdr h cell) (observe (Obj.car h cell) :: acc) (fuel - 1)
+    in
+    loop (Obj.car h tc) [] 20
+  in
+  (List.rev !dequeued, remaining)
+
+let test_publish_last_safe () =
+  (* With the paper's ordering, a dequeue at any point either sees the old
+     queue or the completed queue; nothing bogus ever appears. *)
+  List.iter
+    (fun initial ->
+      for pause = 0 to Tconc.Enqueue.total_steps - 1 do
+        let dequeued, remaining =
+          enqueue_with_dequeue_at ~order:`Publish_last ~initial ~pause_at:pause
+        in
+        let all = dequeued @ remaining in
+        Alcotest.(check (list int))
+          (Printf.sprintf "pause %d: no loss, no phantom" pause)
+          (initial @ [ 99 ]) all
+      done)
+    [ []; [ 1 ]; [ 1; 2 ] ]
+
+let test_publish_first_unsafe () =
+  (* The broken ordering lets the mutator dequeue the don't-care value of
+     the half-installed cell.  The checker must catch at least one unsafe
+     interleaving (this is what makes Figure 3's ordering essential). *)
+  let violations = ref 0 in
+  List.iter
+    (fun initial ->
+      for pause = 0 to Tconc.Enqueue.total_steps - 1 do
+        let dequeued, remaining =
+          enqueue_with_dequeue_at ~order:`Publish_first ~initial ~pause_at:pause
+        in
+        let all = dequeued @ remaining in
+        if all <> initial @ [ 99 ] then incr violations
+      done)
+    [ []; [ 1 ]; [ 1; 2 ] ];
+  check "broken ordering detected" true (!violations > 0)
+
+(* --- property: random interleaved mutator/collector traffic ---------- *)
+
+let prop_mixed_traffic =
+  QCheck.Test.make ~name:"random enqueue/dequeue traffic is FIFO" ~count:200
+    QCheck.(list (option (int_range 0 1000)))
+    (fun ops ->
+      let h = heap () in
+      let tc = Tconc.make h in
+      let model = Queue.create () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some v ->
+              (* collector-style append *)
+              Tconc.enqueue_with h ~alloc_pair:(fun a b -> Obj.cons h a b) tc (fx v);
+              Queue.add v model
+          | None -> (
+              match (Tconc.dequeue h tc, Queue.take_opt model) with
+              | None, None -> ()
+              | Some w, Some v -> if Word.to_fixnum w <> v then ok := false
+              | _ -> ok := false))
+        ops;
+      !ok && to_ints h tc = List.of_seq (Queue.to_seq model))
+
+let () =
+  Alcotest.run "tconc"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "fifo" `Quick test_fifo;
+          Alcotest.test_case "survives gc" `Quick test_survives_gc;
+          Alcotest.test_case "dequeued cell cleared" `Quick test_dequeued_cell_cleared;
+        ] );
+      ( "interleavings",
+        [
+          Alcotest.test_case "enqueue during dequeue (nonempty)" `Quick test_interleaving_nonempty;
+          Alcotest.test_case "enqueue during dequeue (empty)" `Quick test_interleaving_empty;
+          Alcotest.test_case "enqueue during dequeue (single)" `Quick test_interleaving_single;
+          Alcotest.test_case "publish-last is safe" `Quick test_publish_last_safe;
+          Alcotest.test_case "publish-first is caught" `Quick test_publish_first_unsafe;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_mixed_traffic ]);
+    ]

@@ -1,0 +1,121 @@
+(* The virtual filesystem substrate. *)
+
+module Vfs = Gbc_vfs.Vfs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_write_read () =
+  let v = Vfs.create () in
+  let fd = Vfs.openfile v "a.txt" Vfs.Write in
+  Vfs.write v fd "hello ";
+  Vfs.write v fd "world";
+  Vfs.close v fd;
+  check_str "contents" "hello world" (Vfs.read_file v "a.txt");
+  let fd = Vfs.openfile v "a.txt" Vfs.Read in
+  check "read h" true (Vfs.read_char v fd = Some 'h');
+  check "read e" true (Vfs.read_char v fd = Some 'e');
+  Vfs.close v fd
+
+let test_read_to_eof () =
+  let v = Vfs.create () in
+  Vfs.write_file v "x" "ab";
+  let fd = Vfs.openfile v "x" Vfs.Read in
+  check "a" true (Vfs.read_char v fd = Some 'a');
+  check "b" true (Vfs.read_char v fd = Some 'b');
+  check "eof" true (Vfs.read_char v fd = None);
+  check "eof again" true (Vfs.read_char v fd = None);
+  Vfs.close v fd
+
+let test_modes () =
+  let v = Vfs.create () in
+  Vfs.write_file v "f" "abc";
+  (* Write truncates. *)
+  let fd = Vfs.openfile v "f" Vfs.Write in
+  Vfs.write v fd "x";
+  Vfs.close v fd;
+  check_str "truncated" "x" (Vfs.read_file v "f");
+  (* Append appends. *)
+  let fd = Vfs.openfile v "f" Vfs.Append in
+  Vfs.write v fd "yz";
+  Vfs.close v fd;
+  check_str "appended" "xyz" (Vfs.read_file v "f")
+
+let test_missing_file () =
+  let v = Vfs.create () in
+  Alcotest.check_raises "no such file" (Vfs.No_such_file "nope") (fun () ->
+      ignore (Vfs.openfile v "nope" Vfs.Read))
+
+let test_descriptor_lifecycle () =
+  let v = Vfs.create () in
+  let fd = Vfs.openfile v "f" Vfs.Write in
+  check "open" true (Vfs.is_open v fd);
+  Vfs.close v fd;
+  check "closed" false (Vfs.is_open v fd);
+  Alcotest.check_raises "double close" (Vfs.Bad_descriptor fd) (fun () -> Vfs.close v fd);
+  Alcotest.check_raises "write after close" (Vfs.Bad_descriptor fd) (fun () ->
+      Vfs.write v fd "x")
+
+let test_fd_exhaustion () =
+  let v = Vfs.create ~fd_limit:4 () in
+  let fds = List.init 4 (fun i -> Vfs.openfile v (Printf.sprintf "f%d" i) Vfs.Write) in
+  Alcotest.check_raises "exhausted" Vfs.Descriptor_exhausted (fun () ->
+      ignore (Vfs.openfile v "one-more" Vfs.Write));
+  (* Closing one frees a slot. *)
+  Vfs.close v (List.hd fds);
+  let fd = Vfs.openfile v "one-more" Vfs.Write in
+  check "reopened" true (Vfs.is_open v fd)
+
+let test_accounting () =
+  let v = Vfs.create () in
+  let a = Vfs.openfile v "a" Vfs.Write in
+  let b = Vfs.openfile v "b" Vfs.Write in
+  check_int "open 2" 2 (Vfs.open_count v);
+  check_int "max 2" 2 (Vfs.max_open v);
+  Vfs.close v a;
+  check_int "open 1" 1 (Vfs.open_count v);
+  check_int "max still 2" 2 (Vfs.max_open v);
+  Vfs.write v b "1234";
+  check_int "bytes written" 4 (Vfs.bytes_written v);
+  check_int "opens" 2 (Vfs.total_opens v);
+  check_int "closes" 1 (Vfs.total_closes v);
+  check_int "leaked" 1 (Vfs.leaked v)
+
+let test_remove_and_exists () =
+  let v = Vfs.create () in
+  check "absent" false (Vfs.file_exists v "f");
+  Vfs.write_file v "f" "x";
+  check "present" true (Vfs.file_exists v "f");
+  Vfs.remove_file v "f";
+  check "removed" false (Vfs.file_exists v "f")
+
+let prop_write_read_roundtrip =
+  QCheck.Test.make ~name:"written data reads back" ~count:100
+    QCheck.(list printable_string)
+    (fun chunks ->
+      let v = Vfs.create () in
+      let fd = Vfs.openfile v "f" Vfs.Write in
+      List.iter (Vfs.write v fd) chunks;
+      Vfs.close v fd;
+      Vfs.read_file v "f" = String.concat "" chunks)
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "files",
+        [
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "read to eof" `Quick test_read_to_eof;
+          Alcotest.test_case "modes" `Quick test_modes;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "remove/exists" `Quick test_remove_and_exists;
+        ] );
+      ( "descriptors",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_descriptor_lifecycle;
+          Alcotest.test_case "exhaustion" `Quick test_fd_exhaustion;
+          Alcotest.test_case "accounting" `Quick test_accounting;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_write_read_roundtrip ]);
+    ]

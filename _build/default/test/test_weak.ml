@@ -1,0 +1,210 @@
+(* Weak pairs: breaking, mending, generational interactions, and the
+   guardian-pass/weak-pass ordering (DESIGN.md D2 / experiment E11). *)
+
+open Gbc_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = Config.v ~segment_words:128 ~max_generation:3 ()
+let heap () = Heap.create ~config:cfg ()
+let fx = Word.of_fixnum
+let full_collect h = ignore (Collector.collect h ~gen:(Heap.max_generation h))
+
+let test_weak_pair_is_pair () =
+  let h = heap () in
+  let wp = Weak_pair.cons h (fx 1) (fx 2) in
+  check "pair tag" true (Word.is_pair_ptr wp);
+  check "weak-pair?" true (Obj.is_weak_pair h wp);
+  check "not normal pair" false (Obj.is_pair h wp);
+  check_int "car" 1 (Word.to_fixnum (Weak_pair.car h wp));
+  check_int "cdr" 2 (Word.to_fixnum (Weak_pair.cdr h wp));
+  Weak_pair.set_car h wp (fx 3);
+  Weak_pair.set_cdr h wp (fx 4);
+  check_int "set car" 3 (Word.to_fixnum (Weak_pair.car h wp));
+  check_int "set cdr" 4 (Word.to_fixnum (Weak_pair.cdr h wp))
+
+let test_cdr_is_strong () =
+  let h = heap () in
+  let wp = Handle.create h (Weak_pair.cons h Word.nil (Obj.cons h (fx 7) Word.nil)) in
+  full_collect h;
+  let wp = Handle.get wp in
+  check_int "cdr kept alive" 7 (Word.to_fixnum (Obj.car h (Weak_pair.cdr h wp)))
+
+let test_car_does_not_retain () =
+  let h = heap () in
+  let wp = Handle.create h (Weak_pair.cons h (Obj.cons h (fx 1) Word.nil) Word.nil) in
+  let live_with = Heap.live_words h in
+  full_collect h;
+  check "broken" true (Weak_pair.broken h (Handle.get wp));
+  check "target reclaimed" true (Heap.live_words h < live_with)
+
+let test_weak_chain () =
+  (* weak pair -> weak pair -> object: intermediate pair strong via cdr. *)
+  let h = heap () in
+  let obj = Obj.cons h (fx 5) Word.nil in
+  let inner = Weak_pair.cons h obj Word.nil in
+  let outer = Handle.create h (Weak_pair.cons h (fx 0) inner) in
+  let objc = Handle.create h obj in
+  full_collect h;
+  let inner = Weak_pair.cdr h (Handle.get outer) in
+  check "inner alive, car mended" false (Weak_pair.broken h inner);
+  check "points at moved obj" true (Word.equal (Weak_pair.car h inner) (Handle.get objc));
+  Handle.free objc;
+  full_collect h;
+  let inner = Weak_pair.cdr h (Handle.get outer) in
+  check "inner broken after obj death" true (Weak_pair.broken h inner)
+
+let test_old_weak_pair_young_object () =
+  (* Promote a weak pair to an old generation, then point its car at a young
+     object.  A minor collection must update (object lives) or break
+     (object dies) the old weak car — the dirty-weak-segment path. *)
+  let h = heap () in
+  let wp = Handle.create h (Weak_pair.cons h Word.nil Word.nil) in
+  full_collect h;
+  full_collect h;
+  check "weak pair old" true (Heap.generation_of_word h (Handle.get wp) >= 2);
+  (* Case 1: young object survives (rooted): car updated to new address. *)
+  let young = Handle.create h (Obj.cons h (fx 9) Word.nil) in
+  Weak_pair.set_car h (Handle.get wp) (Handle.get young);
+  ignore (Collector.collect h ~gen:0);
+  check "updated to survivor" true
+    (Word.equal (Weak_pair.car h (Handle.get wp)) (Handle.get young));
+  check_int "readable" 9 (Word.to_fixnum (Obj.car h (Weak_pair.car h (Handle.get wp))));
+  (* Case 2: young object dies: old weak car broken by a minor GC. *)
+  Weak_pair.set_car h (Handle.get wp) (Obj.cons h (fx 10) Word.nil);
+  ignore (Collector.collect h ~gen:0);
+  check "broken for dead young" true (Weak_pair.broken h (Handle.get wp));
+  Handle.free young
+
+let test_weak_pair_promotion_keeps_weakness () =
+  let h = heap () in
+  let target = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  let wp = Handle.create h (Weak_pair.cons h (Handle.get target) Word.nil) in
+  full_collect h;
+  full_collect h;
+  (* Weak pair now old; its weakness must persist in the new segment. *)
+  check "still a weak pair" true (Obj.is_weak_pair h (Handle.get wp));
+  Handle.free target;
+  full_collect h;
+  check "still weak after promotion" true (Weak_pair.broken h (Handle.get wp))
+
+let test_guardian_pass_before_weak_pass () =
+  (* E11/D2: an object that is inaccessible but guarded is saved, and weak
+     pointers to it are mended, not broken. *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  let x = Obj.cons h (fx 3) Word.nil in
+  Guardian.register h (Handle.get g) x;
+  let wp = Handle.create h (Weak_pair.cons h x Word.nil) in
+  ignore (Collector.collect h ~gen:0);
+  check "weak pointer survives guardian save" false (Weak_pair.broken h (Handle.get wp));
+  let saved = Option.get (Guardian.retrieve h (Handle.get g)) in
+  check "same object" true (Word.equal saved (Weak_pair.car h (Handle.get wp)))
+
+let test_weak_pass_first_breaks_property () =
+  (* The ablation: running the weak pass before the guardian pass breaks the
+     weak pointer even though the object is saved — demonstrating why the
+     paper specifies the order. *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  let x = Obj.cons h (fx 3) Word.nil in
+  Guardian.register h (Handle.get g) x;
+  let wp = Handle.create h (Weak_pair.cons h x Word.nil) in
+  ignore (Collector.collect ~weak_pass_first:true h ~gen:0);
+  check "wrong order breaks the weak pointer" true (Weak_pair.broken h (Handle.get wp));
+  check "object still saved" true (Guardian.retrieve h (Handle.get g) <> None)
+
+let test_transport_marker_shape () =
+  (* The transport-guardian idiom's invariant: a weak pair registered with a
+     guardian is returned (marker young), with car intact when the object
+     lives. *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  let obj = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  let marker = Weak_pair.cons h (Handle.get obj) Word.false_ in
+  Guardian.register h (Handle.get g) marker;
+  ignore (Collector.collect h ~gen:0);
+  (match Guardian.retrieve h (Handle.get g) with
+  | Some m ->
+      check "marker is weak pair" true (Obj.is_weak_pair h m);
+      check "car mended to survivor" true (Word.equal (Weak_pair.car h m) (Handle.get obj))
+  | None -> Alcotest.fail "marker should return");
+  Handle.free obj
+
+let test_many_weak_pairs_counters () =
+  let h = heap () in
+  let keep = Handle.create h Word.nil in
+  (* 50 weak pairs to dying objects, 50 to living ones. *)
+  let living = Handle.create h Word.nil in
+  for i = 0 to 99 do
+    let target = Obj.cons h (fx i) Word.nil in
+    if i mod 2 = 0 then Handle.set living (Obj.cons h target (Handle.get living));
+    let wp = Weak_pair.cons h target Word.nil in
+    Handle.set keep (Obj.cons h wp (Handle.get keep))
+  done;
+  ignore (Collector.collect h ~gen:0);
+  let stats = (Heap.stats h).Stats.last in
+  check_int "half broken" 50 stats.Stats.weak_pointers_broken;
+  check "all scanned" true (stats.Stats.weak_pairs_scanned >= 100);
+  (* Verify each weak pair agrees with its target's fate. *)
+  let broken = ref 0 and alive = ref 0 in
+  let rec walk l =
+    if not (Word.is_nil l) then begin
+      let wp = Obj.car h l in
+      if Weak_pair.broken h wp then incr broken else incr alive;
+      walk (Obj.cdr h l)
+    end
+  in
+  walk (Handle.get keep);
+  check_int "broken count" 50 !broken;
+  check_int "alive count" 50 !alive;
+  Handle.free living
+
+(* Property: a weak pair's car is broken iff its target was otherwise
+   unreachable. *)
+let prop_weak_iff_dead =
+  QCheck.Test.make ~name:"weak car broken iff target dead" ~count:100
+    QCheck.(list bool)
+    (fun flags ->
+      let h = heap () in
+      let entries =
+        List.map
+          (fun keep ->
+            let target = Obj.cons h (fx 1) Word.nil in
+            let wp = Handle.create h (Weak_pair.cons h target Word.nil) in
+            let root = if keep then Some (Handle.create h target) else None in
+            (wp, keep, root))
+          flags
+      in
+      full_collect h;
+      List.for_all
+        (fun (wp, keep, _) -> Weak_pair.broken h (Handle.get wp) = not keep)
+        entries)
+
+let () =
+  Alcotest.run "weak"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "weak pair is pair" `Quick test_weak_pair_is_pair;
+          Alcotest.test_case "cdr strong" `Quick test_cdr_is_strong;
+          Alcotest.test_case "car weak" `Quick test_car_does_not_retain;
+          Alcotest.test_case "weak chain" `Quick test_weak_chain;
+        ] );
+      ( "generations",
+        [
+          Alcotest.test_case "old weak, young target" `Quick test_old_weak_pair_young_object;
+          Alcotest.test_case "weakness survives promotion" `Quick
+            test_weak_pair_promotion_keeps_weakness;
+          Alcotest.test_case "counters" `Quick test_many_weak_pairs_counters;
+        ] );
+      ( "guardian interaction (E11)",
+        [
+          Alcotest.test_case "guardian pass first" `Quick test_guardian_pass_before_weak_pass;
+          Alcotest.test_case "wrong order breaks it (D2)" `Quick
+            test_weak_pass_first_breaks_property;
+          Alcotest.test_case "transport marker" `Quick test_transport_marker_shape;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_weak_iff_dead ]);
+    ]

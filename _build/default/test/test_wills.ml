@@ -1,0 +1,146 @@
+(* Will executors and weak eq tables (extensions over guardians). *)
+
+open Gbc_runtime
+module Will_executor = Gbc.Will_executor
+module Weak_eq_table = Gbc.Weak_eq_table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = Config.v ~segment_words:128 ~max_generation:2 ()
+let heap () = Heap.create ~config:cfg ()
+let fx = Word.of_fixnum
+let full_collect h = ignore (Collector.collect h ~gen:(Heap.max_generation h))
+
+(* --- weak eq table -------------------------------------------------- *)
+
+let test_weak_eq_basic () =
+  let h = heap () in
+  let t = Weak_eq_table.create h ~size:16 in
+  let k = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  Weak_eq_table.set t (Handle.get k) (fx 10);
+  check_int "lookup" 10 (Word.to_fixnum (Option.get (Weak_eq_table.lookup t (Handle.get k))));
+  Weak_eq_table.set t (Handle.get k) (fx 20);
+  check_int "update" 20 (Word.to_fixnum (Option.get (Weak_eq_table.lookup t (Handle.get k))));
+  (* Survives collections (rehash on epoch change). *)
+  full_collect h;
+  check_int "after gc" 20 (Word.to_fixnum (Option.get (Weak_eq_table.lookup t (Handle.get k))));
+  Weak_eq_table.remove t (Handle.get k);
+  check "removed" true (Weak_eq_table.lookup t (Handle.get k) = None);
+  Handle.free k
+
+let test_weak_eq_does_not_retain_keys () =
+  let h = heap () in
+  let t = Weak_eq_table.create h ~size:16 in
+  let baseline = Heap.live_words h in
+  for i = 0 to 9 do
+    Weak_eq_table.set t (Obj.cons h (fx i) Word.nil) (Obj.make_vector h ~len:50 ~init:Word.nil)
+  done;
+  full_collect h;
+  full_collect h;
+  (* Keys and values gone; only buckets remain. *)
+  check "reclaimed" true (Heap.live_words h < baseline + 100);
+  ignore (Weak_eq_table.lookup t (Obj.cons h (fx 0) Word.nil));
+  check "count pruned toward zero" true (Weak_eq_table.count t <= 10)
+
+let test_weak_eq_no_key_in_value_leak () =
+  (* The reason entries are ephemerons. *)
+  let h = heap () in
+  let t = Weak_eq_table.create h ~size:16 in
+  let key = Obj.cons h (fx 7) Word.nil in
+  (* value references the key *)
+  Weak_eq_table.set t key (Obj.cons h key Word.nil);
+  full_collect h;
+  full_collect h;
+  ignore (Weak_eq_table.lookup t (Obj.cons h (fx 0) Word.nil));
+  (* Both key and value died despite the self-reference. *)
+  check "collapsed" true (Weak_eq_table.count t <= 0)
+
+(* --- will executor -------------------------------------------------- *)
+
+let test_will_runs_on_death () =
+  let h = heap () in
+  let we = Will_executor.create h in
+  let ran = ref [] in
+  Will_executor.register we (Obj.cons h (fx 1) (fx 2)) ~will:(fun h obj ->
+      ran := Word.to_fixnum (Obj.car h obj) :: !ran);
+  check "not ready before gc" false (Will_executor.execute we);
+  full_collect h;
+  check "ready after gc" true (Will_executor.execute we);
+  Alcotest.(check (list int)) "will saw the object" [ 1 ] !ran;
+  check "only once" false (Will_executor.execute we);
+  check_int "executed" 1 (Will_executor.executed we)
+
+let test_will_not_run_while_alive () =
+  let h = heap () in
+  let we = Will_executor.create h in
+  let obj = Handle.create h (Obj.cons h (fx 1) Word.nil) in
+  let ran = ref false in
+  Will_executor.register we (Handle.get obj) ~will:(fun _ _ -> ran := true);
+  full_collect h;
+  full_collect h;
+  check "nothing ready" false (Will_executor.execute we);
+  check "will pending" true (Will_executor.pending_wills we = 1);
+  Handle.free obj;
+  full_collect h;
+  check "now ready" true (Will_executor.execute we);
+  check "ran" true !ran
+
+let test_multiple_wills_newest_first () =
+  let h = heap () in
+  let we = Will_executor.create h in
+  let order = ref [] in
+  let obj = Obj.cons h (fx 9) Word.nil in
+  Will_executor.register we obj ~will:(fun _ _ -> order := 1 :: !order);
+  Will_executor.register we obj ~will:(fun _ _ -> order := 2 :: !order);
+  Will_executor.register we obj ~will:(fun _ _ -> order := 3 :: !order);
+  full_collect h;
+  check_int "three ran" 3 (Will_executor.execute_all we);
+  (* newest (3) first *)
+  Alcotest.(check (list int)) "order" [ 3; 2; 1 ] (List.rev !order)
+
+let test_will_can_allocate_and_resurrect () =
+  (* Unlike collector-run finalizers, wills run in the mutator: they may
+     allocate, collect, and even keep the object. *)
+  let h = heap () in
+  let we = Will_executor.create h in
+  let kept = Handle.create h Word.nil in
+  Will_executor.register we (Obj.cons h (fx 5) Word.nil) ~will:(fun h obj ->
+      (* allocation inside the will *)
+      Handle.set kept (Obj.cons h obj (Handle.get kept));
+      full_collect h);
+  full_collect h;
+  check "ran" true (Will_executor.execute we);
+  check_int "object resurrected by its will" 5
+    (Word.to_fixnum (Obj.car h (Obj.car h (Handle.get kept))))
+
+let test_many_objects () =
+  let h = heap () in
+  let we = Will_executor.create h in
+  let count = ref 0 in
+  for i = 0 to 49 do
+    Will_executor.register we (Obj.cons h (fx i) Word.nil) ~will:(fun _ _ -> incr count)
+  done;
+  full_collect h;
+  check_int "all ready" 50 (Will_executor.execute_all we);
+  check_int "all ran" 50 !count;
+  check_int "none left" 0 (Will_executor.pending_wills we)
+
+let () =
+  Alcotest.run "wills"
+    [
+      ( "weak eq table",
+        [
+          Alcotest.test_case "basic" `Quick test_weak_eq_basic;
+          Alcotest.test_case "keys not retained" `Quick test_weak_eq_does_not_retain_keys;
+          Alcotest.test_case "no key-in-value leak" `Quick test_weak_eq_no_key_in_value_leak;
+        ] );
+      ( "will executor",
+        [
+          Alcotest.test_case "runs on death" `Quick test_will_runs_on_death;
+          Alcotest.test_case "not while alive" `Quick test_will_not_run_while_alive;
+          Alcotest.test_case "newest first" `Quick test_multiple_wills_newest_first;
+          Alcotest.test_case "allocate and resurrect" `Quick test_will_can_allocate_and_resurrect;
+          Alcotest.test_case "many objects" `Quick test_many_objects;
+        ] );
+    ]
