@@ -62,3 +62,205 @@ let time_once f =
 (* microseconds *)
 
 let fmt_us us = Printf.sprintf "%.1f" us
+
+(* ------------------------------------------------------------------ *)
+(* GC telemetry aggregation: heaps created through make_heap/make_ctx
+   report every collection into the aggregate of the benchmark currently
+   running (see [benchmark]); [write_gc_json] dumps all aggregates. *)
+
+module Gc_report = struct
+  open Gbc_runtime
+
+  type agg = {
+    bench : string;
+    mutable collections : int;
+    mutable pauses_us : float list;  (* one entry per collection *)
+    phase_ns : float array;  (* indexed by Telemetry.phase_index *)
+    phase_work : int array;
+    totals : Stats.counters;  (* per-collection counters, summed *)
+    (* Session-level mutator counters, summed over this benchmark's heaps
+       when the benchmark finishes (the heaps list is dropped then). *)
+    mutable heaps : Heap.t list;
+    mutable polls : int;
+    mutable hits : int;
+    mutable registrations : int;
+    mutable tconc_enqueues : int;
+    mutable tconc_dequeues : int;
+  }
+
+  let current : agg option ref = ref None
+  let finished : agg list ref = ref []
+
+  let add_counters (into : Stats.counters) (c : Stats.counters) =
+    into.Stats.objects_copied <- into.Stats.objects_copied + c.Stats.objects_copied;
+    into.Stats.words_copied <- into.Stats.words_copied + c.Stats.words_copied;
+    into.Stats.words_swept <- into.Stats.words_swept + c.Stats.words_swept;
+    into.Stats.root_words <- into.Stats.root_words + c.Stats.root_words;
+    into.Stats.dirty_segments_scanned <-
+      into.Stats.dirty_segments_scanned + c.Stats.dirty_segments_scanned;
+    into.Stats.protected_entries_visited <-
+      into.Stats.protected_entries_visited + c.Stats.protected_entries_visited;
+    into.Stats.guardian_resurrections <-
+      into.Stats.guardian_resurrections + c.Stats.guardian_resurrections;
+    into.Stats.guardian_entries_promoted <-
+      into.Stats.guardian_entries_promoted + c.Stats.guardian_entries_promoted;
+    into.Stats.guardian_entries_dropped <-
+      into.Stats.guardian_entries_dropped + c.Stats.guardian_entries_dropped;
+    into.Stats.weak_pairs_scanned <-
+      into.Stats.weak_pairs_scanned + c.Stats.weak_pairs_scanned;
+    into.Stats.weak_pointers_broken <-
+      into.Stats.weak_pointers_broken + c.Stats.weak_pointers_broken;
+    into.Stats.ephemerons_scanned <-
+      into.Stats.ephemerons_scanned + c.Stats.ephemerons_scanned;
+    into.Stats.ephemerons_broken <-
+      into.Stats.ephemerons_broken + c.Stats.ephemerons_broken;
+    into.Stats.segments_freed <- into.Stats.segments_freed + c.Stats.segments_freed;
+    into.Stats.segments_allocated <-
+      into.Stats.segments_allocated + c.Stats.segments_allocated
+
+  (* Subscribe the heap's telemetry to the running benchmark's aggregate. *)
+  let instrument_heap h =
+    match !current with
+    | None -> ()
+    | Some agg ->
+        agg.heaps <- h :: agg.heaps;
+        let tel = Heap.telemetry h in
+        Telemetry.set_enabled tel true;
+        ignore
+          (Telemetry.add_sink tel (function
+            | Telemetry.Collection_end { duration_ns; counters; _ } ->
+                agg.collections <- agg.collections + 1;
+                agg.pauses_us <- (duration_ns /. 1e3) :: agg.pauses_us;
+                List.iter
+                  (fun ph ->
+                    let i = Telemetry.phase_index ph in
+                    agg.phase_ns.(i) <-
+                      agg.phase_ns.(i) +. Telemetry.phase_ns_last tel ph;
+                    agg.phase_work.(i) <-
+                      agg.phase_work.(i) + Telemetry.phase_work_last tel ph)
+                  Telemetry.all_phases;
+                add_counters agg.totals counters
+            | _ -> ()))
+
+  let start bench =
+    current :=
+      Some
+        {
+          bench;
+          collections = 0;
+          pauses_us = [];
+          phase_ns = Array.make Telemetry.phase_count 0.0;
+          phase_work = Array.make Telemetry.phase_count 0;
+          totals = Stats.zero ();
+          heaps = [];
+          polls = 0;
+          hits = 0;
+          registrations = 0;
+          tconc_enqueues = 0;
+          tconc_dequeues = 0;
+        }
+
+  let finish () =
+    match !current with
+    | None -> ()
+    | Some agg ->
+        List.iter
+          (fun h ->
+            let s = Heap.stats h in
+            agg.polls <- agg.polls + s.Stats.guardian_polls;
+            agg.hits <- agg.hits + s.Stats.guardian_hits;
+            agg.registrations <- agg.registrations + s.Stats.registrations;
+            agg.tconc_enqueues <- agg.tconc_enqueues + s.Stats.tconc_enqueues;
+            agg.tconc_dequeues <- agg.tconc_dequeues + s.Stats.tconc_dequeues)
+          agg.heaps;
+        agg.heaps <- [];
+        current := None;
+        finished := agg :: !finished
+
+  (* Exact percentile of a sorted sample (nearest-rank). *)
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+  let write path =
+    let buf = Buffer.create 4096 in
+    let bprintf fmt = Printf.bprintf buf fmt in
+    bprintf "{\n  \"schema\": \"gbc-bench-gc/1\",\n  \"benchmarks\": [\n";
+    let aggs = List.rev !finished in
+    List.iteri
+      (fun bi agg ->
+        let pauses = Array.of_list agg.pauses_us in
+        Array.sort compare pauses;
+        let total_phase_ns = Array.fold_left ( +. ) 0.0 agg.phase_ns in
+        let c = agg.totals in
+        bprintf "    {\n      \"name\": %S,\n" agg.bench;
+        bprintf "      \"collections\": %d,\n" agg.collections;
+        bprintf
+          "      \"pause_us\": {\"p50\": %.3f, \"p95\": %.3f, \"max\": %.3f},\n"
+          (percentile pauses 50.0) (percentile pauses 95.0)
+          (if Array.length pauses = 0 then 0.0
+           else pauses.(Array.length pauses - 1));
+        bprintf "      \"phases\": {\n";
+        List.iteri
+          (fun i ph ->
+            let share =
+              if total_phase_ns > 0.0 then agg.phase_ns.(i) /. total_phase_ns
+              else 0.0
+            in
+            bprintf "        %S: {\"ns\": %.0f, \"work\": %d, \"time_share\": %.4f}%s\n"
+              (Gbc_runtime.Telemetry.phase_name ph)
+              agg.phase_ns.(i) agg.phase_work.(i) share
+              (if i = Gbc_runtime.Telemetry.phase_count - 1 then "" else ","))
+          Gbc_runtime.Telemetry.all_phases;
+        bprintf "      },\n";
+        bprintf
+          "      \"counters\": {\"words_copied\": %d, \"words_swept\": %d, \
+           \"entries_visited\": %d, \"resurrections\": %d, \"entries_dropped\": \
+           %d, \"weak_broken\": %d, \"ephemerons_broken\": %d},\n"
+          c.Stats.words_copied c.Stats.words_swept
+          c.Stats.protected_entries_visited c.Stats.guardian_resurrections
+          c.Stats.guardian_entries_dropped c.Stats.weak_pointers_broken
+          c.Stats.ephemerons_broken;
+        bprintf
+          "      \"mutator\": {\"registrations\": %d, \"polls\": %d, \"hits\": \
+           %d, \"tconc_enqueues\": %d, \"tconc_dequeues\": %d},\n"
+          agg.registrations agg.polls agg.hits agg.tconc_enqueues
+          agg.tconc_dequeues;
+        (* C1: collector-side guardian overhead relative to the copying and
+           sweeping work already done.  C2: mutator polls per clean-up
+           actually performed (DESIGN.md, Observability). *)
+        bprintf "      \"c1_collector_overhead\": %.6f,\n"
+          (float_of_int c.Stats.protected_entries_visited
+          /. float_of_int (max 1 (c.Stats.words_copied + c.Stats.words_swept)));
+        bprintf "      \"c2_polls_per_cleanup\": %.6f\n"
+          (float_of_int agg.polls /. float_of_int (max 1 agg.hits));
+        bprintf "    }%s\n" (if bi = List.length aggs - 1 then "" else ","))
+      aggs;
+    bprintf "  ]\n}\n";
+    let oc = open_out path in
+    Buffer.output_buffer oc buf;
+    close_out oc
+end
+
+(** Instrumented constructors: use these in benchmarks so collections are
+    credited to the running benchmark's GC aggregate. *)
+let make_heap ?config () =
+  let h = Gbc_runtime.Heap.create ?config () in
+  Gc_report.instrument_heap h;
+  h
+
+let make_ctx ?config ?fd_limit () =
+  let ctx = Gbc.Ctx.create ?config ?fd_limit () in
+  Gc_report.instrument_heap (Gbc.Ctx.heap ctx);
+  ctx
+
+(** Run one named benchmark, crediting its heaps' collections to a fresh
+    aggregate for the GC report. *)
+let benchmark name f =
+  Gc_report.start name;
+  Fun.protect ~finally:Gc_report.finish f
+
+let write_gc_json = Gc_report.write

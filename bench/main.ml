@@ -59,7 +59,7 @@ let e1 () =
     List.map
       (fun n ->
         (* Guardians: N live objects registered, promoted old. *)
-        let h = Heap.create ~config:cfg () in
+        let h = make_heap ~config:cfg () in
         let g = Handle.create h (Guardian.make h) in
         let keep, objs = alloc_rooted_pairs h n in
         Array.iter (fun x -> Guardian.register h (Handle.get g) x) objs;
@@ -79,7 +79,7 @@ let e1 () =
         ignore keep;
         (* Weak-set baseline: N members promoted old; the mutator scans to
            learn of deaths after the same minor GC. *)
-        let h2 = Heap.create ~config:cfg () in
+        let h2 = make_heap ~config:cfg () in
         let ws = Weak_set.create h2 in
         let keep2, objs2 = alloc_rooted_pairs h2 n in
         Array.iter (Weak_set.add ws) objs2;
@@ -129,7 +129,7 @@ let e1 () =
         List.map
           (fun n ->
             let config = Config.v ~max_generation:3 ~generation_friendly_guardians:friendly () in
-            let h = Heap.create ~config () in
+            let h = make_heap ~config () in
             let g = Handle.create h (Guardian.make h) in
             let keep, objs = alloc_rooted_pairs h n in
             Array.iter (fun x -> Guardian.register h (Handle.get g) x) objs;
@@ -171,7 +171,7 @@ let e2 () =
     List.map
       (fun n ->
         (* Guarded table. *)
-        let h = Heap.create ~config:cfg () in
+        let h = make_heap ~config:cfg () in
         let t = Guarded_table.create h ~hash:stable_hash ~size:1024 in
         let keep, objs = alloc_rooted_pairs h n in
         Array.iter (fun k -> Guarded_table.set t k (fx 0)) objs;
@@ -191,7 +191,7 @@ let e2 () =
         let work = Guarded_table.expunge_steps t - steps0 in
         let expunged = Guarded_table.expunged t in
         (* Weak-set table baseline: find dead keys by scanning everything. *)
-        let h2 = Heap.create ~config:cfg () in
+        let h2 = make_heap ~config:cfg () in
         let ws = Weak_set.create h2 in
         let keep2, objs2 = alloc_rooted_pairs h2 n in
         Array.iter (Weak_set.add ws) objs2;
@@ -240,7 +240,7 @@ let e3 () =
   let key h i = Obj.cons h (fx i) (fx i) in
   let stable_hash h w = if Word.is_pair_ptr w then Word.to_fixnum (Obj.car h w) else 0 in
   let churn ~guarded =
-    let h = Heap.create ~config:cfg () in
+    let h = make_heap ~config:cfg () in
     let t = Guarded_table.create ~guarded h ~hash:stable_hash ~size:64 in
     let window = Array.make 64 None in
     for i = 0 to 4095 do
@@ -280,7 +280,7 @@ let e3 () =
     "  -> the guarded table stays bounded by the live set; the unguarded\n\
     \     variant accretes one dead association per dropped key.";
   (* Op-cost timing. *)
-  let h = Heap.create ~config:cfg () in
+  let h = make_heap ~config:cfg () in
   let t = Guarded_table.create h ~hash:stable_hash ~size:1024 in
   let _keep, objs = alloc_rooted_pairs h 1024 in
   Array.iter (fun k -> Guarded_table.set t k (fx 1)) objs;
@@ -300,7 +300,7 @@ let e4 () =
   section "E4  eq-table rehashing: transport guardian vs full rehash";
   let n = 2000 and minors = 20 in
   let run strategy =
-    let h = Heap.create ~config:cfg () in
+    let h = make_heap ~config:cfg () in
     let t = Eq_table.create h ~strategy ~size:512 in
     let keep, objs = alloc_rooted_pairs h n in
     Array.iteri (fun i k -> Eq_table.set t k (fx i)) objs;
@@ -354,7 +354,7 @@ let e5 () =
   let records = 200 in
   let run ~guarded =
     let config = Config.v ~gen0_trigger_words:4096 () in
-    let ctx = Ctx.create ~config ~fd_limit:16 () in
+    let ctx = make_ctx ~config ~fd_limit:16 () in
     let h = Ctx.heap ctx in
     let gp = Guarded_port.create ctx in
     if guarded then Guarded_port.install_collect_handler gp;
@@ -408,7 +408,7 @@ let e6 () =
   section "E6  free-list recycling of expensive objects";
   let build h = Obj.make_vector h ~len:256 ~init:(fx 7) in
   let run collect =
-    let h = Heap.create ~config:cfg () in
+    let h = make_heap ~config:cfg () in
     let pool = Free_pool.create ~capacity:8 h ~build in
     for _ = 0 to 499 do
       ignore (Free_pool.acquire pool);
@@ -441,7 +441,7 @@ let e6 () =
   print_endline
     "  -> recycled objects age into older generations; how quickly their next\n\
     \     death is noticed depends on the collection schedule.";
-  let h2 = Heap.create ~config:cfg () in
+  let h2 = make_heap ~config:cfg () in
   let pool2 = Free_pool.create ~capacity:8 h2 ~build in
   ignore (Free_pool.acquire pool2);
   full_collect h2;
@@ -463,7 +463,7 @@ let e6 () =
 let e7 () =
   section "E7  collection cost proportional to retained data, not to garbage";
   let measure ~live ~garbage =
-    let h = Heap.create ~config:cfg () in
+    let h = make_heap ~config:cfg () in
     let keep, _ = alloc_rooted_pairs h live in
     for i = 0 to garbage - 1 do
       ignore (Obj.cons h (fx i) Word.nil)
@@ -502,7 +502,7 @@ let e7 () =
 let e8 () =
   section "E8  register-for-finalization baseline (Dickey, Section 2)";
   let n = 10_000 in
-  let h = Heap.create ~config:cfg () in
+  let h = make_heap ~config:cfg () in
   let f = Finalize.create h in
   let keep, objs = alloc_rooted_pairs h n in
   let alloc_errors = ref 0 in
@@ -545,7 +545,7 @@ let e8 () =
 
 let e9 () =
   section "E9  tconc protocol: operation costs and interleaving safety";
-  let h = Heap.create ~config:cfg () in
+  let h = make_heap ~config:cfg () in
   let tc = Handle.create h (Tconc.make h) in
   run_tests
     [
@@ -564,7 +564,7 @@ let e9 () =
     (fun initial ->
       for pause = 0 to Tconc.Dequeue.total_steps do
         incr total;
-        let h = Heap.create () in
+        let h = make_heap () in
         let tc = Tconc.make h in
         List.iter (fun i -> Tconc.mutator_enqueue h tc (fx i)) initial;
         let d = Tconc.Dequeue.start tc in
@@ -601,7 +601,7 @@ let e12 () =
     \  is the post-paper extension Chez Scheme later adopted.";
   let n = 1000 in
   let run ~ephemeron =
-    let h = Heap.create ~config:cfg () in
+    let h = make_heap ~config:cfg () in
     let keep = Handle.create h Word.nil in
     let baseline = Heap.live_words h in
     for i = 0 to n - 1 do
@@ -644,7 +644,7 @@ let e13 () =
   let live_pairs = 50_000 and churn_rounds = 50 and churn_per_round = 20_000 in
   let run ~max_generation =
     let config = Config.v ~max_generation ~gen0_trigger_words:(64 * 1024) () in
-    let h = Heap.create ~config () in
+    let h = make_heap ~config () in
     let keep, _ = alloc_rooted_pairs h live_pairs in
     (* settle the long-lived data *)
     for _ = 0 to max_generation do
@@ -686,15 +686,17 @@ let () =
   print_endline
     "Counters are simulated-heap work units (words copied, entries visited,\n\
      list cells scanned); times are host wall-clock.";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e12 ();
-  e13 ();
-  print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured discussion."
+  benchmark "e1" e1;
+  benchmark "e2" e2;
+  benchmark "e3" e3;
+  benchmark "e4" e4;
+  benchmark "e5" e5;
+  benchmark "e6" e6;
+  benchmark "e7" e7;
+  benchmark "e8" e8;
+  benchmark "e9" e9;
+  benchmark "e12" e12;
+  benchmark "e13" e13;
+  write_gc_json "BENCH_gc.json";
+  print_endline "\nDone.  GC telemetry written to BENCH_gc.json.";
+  print_endline "See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -1,14 +1,23 @@
 (* The Scheme system's command-line driver.
 
    Usage:
-     gbc_scheme                 interactive REPL
-     gbc_scheme FILE...         run files (on the shared machine, in order)
-     gbc_scheme -e EXPR         evaluate one expression and print it
-     gbc_scheme --gc-stats ...  print collector statistics at the end *)
+     gbc_scheme                    interactive REPL
+     gbc_scheme FILE...            run files (on the shared machine, in order)
+     gbc_scheme -e EXPR            evaluate an expression and print it
+     gbc_scheme --gc-stats ...     print collector statistics at the end
+     gbc_scheme --gc-log ...       log each collection to stderr as it happens
+     gbc_scheme --trace-out FILE   write a Chrome trace_event JSON of every
+                                   collection phase (load in about:tracing
+                                   or Perfetto)
+
+   Flags compose freely with each other and with inputs; files and -e
+   expressions run in command-line order on one shared machine. *)
 
 open Gbc_scheme
 
-let usage = "usage: gbc_scheme [--gc-stats] [-e EXPR] [FILE...]"
+let usage =
+  "usage: gbc_scheme [--gc-stats] [--gc-log] [--trace-out FILE] \
+   [-e EXPR | FILE]..."
 
 let print_stats m =
   let open Gbc_runtime in
@@ -65,23 +74,83 @@ let run_file m path =
       Printf.eprintf "%s: compile error: %s\n" path msg;
       exit 1
 
+(* Inputs are kept in command-line order so `a.scm -e '(f)' b.scm` runs
+   the file, the expression, then the second file, all on one machine. *)
+type input = File of string | Expr of string
+
+type options = {
+  gc_stats : bool;
+  gc_log : bool;
+  trace_out : string option;
+  inputs : input list;  (* in command-line order *)
+}
+
+let parse_args argv =
+  let rec go opts = function
+    | [] -> { opts with inputs = List.rev opts.inputs }
+    | "--gc-stats" :: rest -> go { opts with gc_stats = true } rest
+    | "--gc-log" :: rest -> go { opts with gc_log = true } rest
+    | "--trace-out" :: path :: rest when String.length path > 0 ->
+        go { opts with trace_out = Some path } rest
+    | [ "--trace-out" ] ->
+        prerr_endline "gbc_scheme: --trace-out requires a file argument";
+        prerr_endline usage;
+        exit 2
+    | "-e" :: expr :: rest -> go { opts with inputs = Expr expr :: opts.inputs } rest
+    | [ "-e" ] ->
+        prerr_endline "gbc_scheme: -e requires an expression argument";
+        prerr_endline usage;
+        exit 2
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "gbc_scheme: unknown option %s\n" arg;
+        prerr_endline usage;
+        exit 2
+    | path :: rest -> go { opts with inputs = File path :: opts.inputs } rest
+  in
+  go { gc_stats = false; gc_log = false; trace_out = None; inputs = [] } argv
+
 let () =
+  let open Gbc_runtime in
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
   let m = Scheme.create () in
   Machine.set_echo m true;
-  let args = List.tl (Array.to_list Sys.argv) in
-  let gc_stats = List.mem "--gc-stats" args in
-  let args = List.filter (fun a -> a <> "--gc-stats") args in
-  (match args with
+  let tel = Heap.telemetry (Machine.heap m) in
+  if opts.gc_log then ignore (Telemetry.Log.attach tel Format.err_formatter);
+  let chrome =
+    Option.map
+      (fun path ->
+        let oc =
+          try open_out path
+          with Sys_error msg ->
+            Printf.eprintf "gbc_scheme: cannot open trace file: %s\n" msg;
+            exit 2
+        in
+        let c = Telemetry.Chrome.attach tel oc in
+        at_exit (fun () ->
+            Telemetry.Chrome.close c;
+            close_out oc);
+        c)
+      opts.trace_out
+  in
+  ignore chrome;
+  let run_expr expr =
+    match Machine.eval_string m expr with
+    | v -> print_endline (Printer.to_string (Machine.heap m) v)
+    | exception Machine.Exit_signal -> ()
+    | exception Machine.Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | exception Reader.Error msg ->
+        Printf.eprintf "read error: %s\n" msg;
+        exit 1
+    | exception Compile.Error msg ->
+        Printf.eprintf "compile error: %s\n" msg;
+        exit 1
+  in
+  (match opts.inputs with
   | [] -> repl m
-  | [ "-e"; expr ] -> (
-      match Machine.eval_string m expr with
-      | v -> print_endline (Printer.to_string (Machine.heap m) v)
-      | exception Machine.Error msg ->
-          Printf.eprintf "error: %s\n" msg;
-          exit 1)
-  | files when not (List.exists (fun a -> String.length a > 0 && a.[0] = '-') files) ->
-      List.iter (run_file m) files
-  | _ ->
-      prerr_endline usage;
-      exit 2);
-  if gc_stats then print_stats m
+  | inputs ->
+      List.iter
+        (function File path -> run_file m path | Expr e -> run_expr e)
+        inputs);
+  if opts.gc_stats then print_stats m

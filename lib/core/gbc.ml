@@ -26,7 +26,7 @@ module Guardian = Gbc_runtime.Guardian
 module Weak_pair = Gbc_runtime.Weak_pair
 module Ephemeron = Gbc_runtime.Ephemeron
 module Verify = Gbc_runtime.Verify
-module Trace = Gbc_runtime.Trace
+module Telemetry = Gbc_runtime.Telemetry
 module Census = Gbc_runtime.Census
 module Runtime = Gbc_runtime.Runtime
 module Handle = Gbc_runtime.Handle

@@ -244,7 +244,7 @@ let kleene_sweep t ~target =
 (* ------------------------------------------------------------------ *)
 (* Guardian pass                                                       *)
 
-type pend = { obj : Word.t; mutable rep : Word.t; tconc : Word.t }
+type pend = { obj : Word.t; mutable rep : Word.t; tconc : Word.t; gid : int }
 
 let guardian_pass t ~g ~target =
   let stats = (Heap.stats t).last in
@@ -262,6 +262,7 @@ let guardian_pass t ~g ~target =
           obj = Vec.Int.get p.p_objs j;
           rep = Vec.Int.get p.p_reps j;
           tconc = Vec.Int.get p.p_tconcs j;
+          gid = Vec.Int.get p.p_gids j;
         }
       in
       if forwarded t entry.obj then begin
@@ -272,7 +273,8 @@ let guardian_pass t ~g ~target =
     done;
     Vec.Int.clear p.p_objs;
     Vec.Int.clear p.p_reps;
-    Vec.Int.clear p.p_tconcs
+    Vec.Int.clear p.p_tconcs;
+    Vec.Int.clear p.p_gids
   done;
   kleene_sweep t ~target;
   (* Second block: repeatedly queue inaccessible objects whose guardian is
@@ -295,13 +297,20 @@ let guardian_pass t ~g ~target =
               store t (addr + 1) d;
               Word.pair_ptr addr)
             tc rep;
-          stats.guardian_resurrections <- stats.guardian_resurrections + 1)
+          stats.guardian_resurrections <- stats.guardian_resurrections + 1;
+          (* Latency bookkeeping: the entry becomes retrievable at the epoch
+             following this collection. *)
+          Telemetry.record_resurrection t.telemetry ~gid:e.gid
+            ~epoch:(t.gc_epoch + 1))
         final;
       kleene_sweep t ~target
     end
   done;
-  stats.guardian_entries_dropped <-
-    stats.guardian_entries_dropped + List.length !pend_final;
+  List.iter
+    (fun e ->
+      stats.guardian_entries_dropped <- stats.guardian_entries_dropped + 1;
+      Telemetry.record_drop t.telemetry ~gid:e.gid)
+    !pend_final;
   (* Third block: entries whose object is still accessible survive into the
      target generation's protected list — provided their guardian does. *)
   let entry_generation =
@@ -313,14 +322,16 @@ let guardian_pass t ~g ~target =
   List.iter
     (fun e ->
       if forwarded t e.tconc then begin
-        protected_add_gen t ~generation:entry_generation
+        protected_add_gen t ~generation:entry_generation ~gid:e.gid
           ~obj:(forward_address t e.obj)
           ~rep:(forward_address t e.rep)
           ~tconc:(forward_address t e.tconc);
         stats.guardian_entries_promoted <- stats.guardian_entries_promoted + 1
       end
-      else
-        stats.guardian_entries_dropped <- stats.guardian_entries_dropped + 1)
+      else begin
+        stats.guardian_entries_dropped <- stats.guardian_entries_dropped + 1;
+        Telemetry.record_drop t.telemetry ~gid:e.gid
+      end)
     !pend_hold
 
 (* ------------------------------------------------------------------ *)
@@ -439,7 +450,21 @@ let collect ?weak_pass_first t ~gen:g =
   let t0 = Unix_time.now_ns () in
   t.in_collection <- true;
   Stats.begin_collection (Heap.stats t);
+  let tel = t.telemetry in
+  let stats = (Heap.stats t).last in
   let target = cfg.promote ~gen:g ~max_generation:cfg.max_generation in
+  Telemetry.collection_begin tel
+    ~ordinal:((Heap.stats t).total.Stats.collections + 1)
+    ~generation:g ~target;
+  (* Each phase reports the delta of its work counter, so the attribution
+     is exact even for counters several phases bump (e.g. words_swept). *)
+  let phase ph work_counter body =
+    let before = work_counter () in
+    Telemetry.phase_begin tel ph;
+    let r = body () in
+    Telemetry.phase_end tel ph ~work:(work_counter () - before);
+    r
+  in
   Vec.Int.clear t.gc_new_segs;
   Vec.Int.clear t.gc_ephemerons;
   (* Condemn from-space: all segments of generations 0..g. *)
@@ -454,35 +479,66 @@ let collect ?weak_pass_first t ~gen:g =
      contents and are reached, if at all, through the remembered set. *)
   reset_cursors t.gc_cursors;
   (* Roots, remembered set, transitive copy. *)
-  root_scan t ~target;
-  let dirty_weak_segs = dirty_scan t ~g ~target in
-  kleene_sweep t ~target;
+  phase Telemetry.Root_scan
+    (fun () -> stats.root_words)
+    (fun () -> root_scan t ~target);
+  let dirty_weak_segs =
+    phase Telemetry.Dirty_scan
+      (fun () -> stats.dirty_segments_scanned)
+      (fun () -> dirty_scan t ~g ~target)
+  in
+  phase Telemetry.Cheney_copy
+    (fun () -> stats.words_swept)
+    (fun () -> kleene_sweep t ~target);
+  let guardian_phase () =
+    phase Telemetry.Guardian_pass
+      (fun () -> stats.protected_entries_visited)
+      (fun () -> guardian_pass t ~g ~target)
+  in
+  let ephemeron_phase () =
+    phase Telemetry.Ephemeron_fixpoint
+      (fun () -> stats.ephemerons_scanned)
+      (fun () -> break_ephemerons t)
+  in
+  let weak_phase () =
+    phase Telemetry.Weak_pass
+      (fun () -> stats.weak_pairs_scanned)
+      (fun () -> weak_pass t ~dirty_weak_segs)
+  in
   (* Guardian pass, then weak pass — in that order, so that weak pointers to
      objects saved by guardians survive (paper Section 4).  The switchable
      order exists only to demonstrate the breakage in tests (DESIGN.md D2). *)
   (match weak_pass_first with
   | Some true ->
-      weak_pass t ~dirty_weak_segs;
-      guardian_pass t ~g ~target;
-      break_ephemerons t
+      weak_phase ();
+      guardian_phase ();
+      ephemeron_phase ()
   | _ ->
-      guardian_pass t ~g ~target;
-      break_ephemerons t;
-      weak_pass t ~dirty_weak_segs);
-  (* Baseline support: weak scanners observe forwarding before from-space is
-     reclaimed. *)
-  weak_root_scan t;
-  (* Remember any to-space segment left pointing at a younger generation
-     (possible under non-default promotion policies). *)
-  Vec.Int.iter t.gc_new_segs ~f:(fun seg ->
-      if (info t seg).live then push_dirty t seg);
-  (* Reclaim from-space. *)
-  Vec.Int.iter condemned ~f:(fun seg -> release_segment t seg);
-  reset_cursors t.mutator_cursors;
+      guardian_phase ();
+      ephemeron_phase ();
+      weak_phase ());
+  phase Telemetry.Segment_reclaim
+    (fun () -> stats.segments_freed)
+    (fun () ->
+      (* Baseline support: weak scanners observe forwarding before from-space
+         is reclaimed. *)
+      weak_root_scan t;
+      (* Remember any to-space segment left pointing at a younger generation
+         (possible under non-default promotion policies). *)
+      Vec.Int.iter t.gc_new_segs ~f:(fun seg ->
+          if (info t seg).live then push_dirty t seg);
+      (* Reclaim from-space. *)
+      Vec.Int.iter condemned ~f:(fun seg -> release_segment t seg);
+      reset_cursors t.mutator_cursors);
   t.stats.words_allocated_since_gc <- 0;
   t.gc_epoch <- t.gc_epoch + 1;
   t.last_gc_generation <- g;
   Stats.end_collection (Heap.stats t);
   t.in_collection <- false;
+  (* The counter snapshot and live-word census are only paid for when
+     someone is listening. *)
+  if Telemetry.enabled tel then
+    Telemetry.collection_end tel ~counters:(Stats.copy stats)
+      ~live_words:(live_words t);
   run_post_gc_hooks t;
   { generation = g; target; duration_ns = Unix_time.now_ns () -. t0 }

@@ -10,17 +10,22 @@
     may be stored away, re-registered, or simply dropped again.
 
     At the user level Scheme represents guardians as procedures; here a
-    guardian is a typed heap object wrapping the tconc queue.  The Scheme
-    layer wraps it back into a procedure, recovering the paper's exact
-    interface. *)
+    guardian is a typed heap object wrapping the tconc queue plus a stable
+    telemetry id (the heap word itself moves under copying collections, so
+    the id — not the address — keys the per-guardian lifecycle metrics in
+    {!Telemetry}).  The Scheme layer wraps it back into a procedure,
+    recovering the paper's exact interface. *)
 
 let tconc_field = 0
+let id_field = 1
 
 (** [make h] creates a new guardian with an empty registered group. *)
 let make h =
   let tc = Tconc.make h in
-  let g = Obj.make_typed h ~code:Obj.code_guardian ~len:1 ~init:Word.nil () in
+  let gid = Telemetry.new_guardian (Heap.telemetry h) in
+  let g = Obj.make_typed h ~code:Obj.code_guardian ~len:2 ~init:Word.nil () in
   Obj.set_field h g tconc_field tc;
+  Obj.set_field h g id_field (Word.of_fixnum gid);
   g
 
 let is_guardian h w = Obj.has_code h w Obj.code_guardian
@@ -29,12 +34,21 @@ let tconc h g =
   assert (is_guardian h g);
   Obj.field h g tconc_field
 
+(** The guardian's stable telemetry id. *)
+let id h g =
+  assert (is_guardian h g);
+  Word.to_fixnum (Obj.field h g id_field)
+
+(** Lifecycle metrics of guardian [g]: registrations, resurrections,
+    drops, polls, hits, poll latency. *)
+let stats h g = Telemetry.guardian_stats (Heap.telemetry h) (id h g)
+
 (** Register [obj] with guardian [g].  An object may be registered with more
     than one guardian, or several times with the same guardian (it is then
     retrievable once per registration). *)
 let register h g obj =
   let tc = tconc h g in
-  Heap.protected_add h ~obj ~rep:obj ~tconc:tc
+  Heap.protected_add h ~gid:(id h g) ~obj ~rep:obj ~tconc:tc
 
 (** Generalized interface (paper Section 5): when [obj] becomes
     inaccessible the guardian yields [rep] instead of the object itself.
@@ -43,19 +57,20 @@ let register h g obj =
     [register] is the special case [rep = obj]. *)
 let register_with_rep h g ~obj ~rep =
   let tc = tconc h g in
-  Heap.protected_add h ~obj ~rep ~tconc:tc
+  Heap.protected_add h ~gid:(id h g) ~obj ~rep ~tconc:tc
 
 (** Retrieve one object proven inaccessible, or [None].  Never blocks, never
     triggers a collection: overhead is paid only per clean-up actually
     performed. *)
 let retrieve h g =
-  let stats = Heap.stats h in
-  stats.guardian_polls <- stats.guardian_polls + 1;
-  match Tconc.dequeue h (tconc h g) with
-  | Some w ->
-      stats.guardian_hits <- stats.guardian_hits + 1;
-      Some w
-  | None -> None
+  let stats' = Heap.stats h in
+  stats'.guardian_polls <- stats'.guardian_polls + 1;
+  let result = Tconc.dequeue h (tconc h g) in
+  let hit = result <> None in
+  if hit then stats'.guardian_hits <- stats'.guardian_hits + 1;
+  Telemetry.record_poll (Heap.telemetry h) ~gid:(id h g) ~hit
+    ~epoch:(Heap.gc_epoch h);
+  result
 
 (** Objects currently waiting in the guardian's inaccessible group. *)
 let pending_count h g = Tconc.length h (tconc h g)

@@ -17,6 +17,15 @@ val is_guardian : Heap.t -> Word.t -> bool
 val tconc : Heap.t -> Word.t -> Word.t
 (** The guardian's underlying tconc (exposed for tests and tooling). *)
 
+val id : Heap.t -> Word.t -> int
+(** The guardian's stable telemetry id (stored in the guardian object, so
+    it survives copying collections). *)
+
+val stats : Heap.t -> Word.t -> Telemetry.guardian_stats
+(** Lifecycle metrics of this guardian: registrations, resurrections,
+    drops, polls, hits, and poll latency (collections between an entry's
+    resurrection and its retrieval). *)
+
 val register : Heap.t -> Word.t -> Word.t -> unit
 (** [register h g obj]: an object may be registered with more than one
     guardian, or several times with the same guardian (it is then

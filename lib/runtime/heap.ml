@@ -51,15 +51,18 @@ type protected = {
   (* Parallel vectors: one guardian registration per index.  [rep] is the
      word enqueued when [obj] proves inaccessible; it equals [obj] for plain
      registrations and is a distinct "agent" for the generalized interface
-     of the paper's Section 5. *)
+     of the paper's Section 5.  [gid] is the owning guardian's telemetry id
+     (stable across copying collections, unlike the tconc word). *)
   p_objs : Vec.Int.t;
   p_reps : Vec.Int.t;
   p_tconcs : Vec.Int.t;
+  p_gids : Vec.Int.t;
 }
 
 type t = {
   config : Config.t;
   stats : Stats.t;
+  telemetry : Telemetry.t;
   mutable segs : int array array;
   mutable infos : seg_info array;
   mutable nsegs : int;
@@ -110,6 +113,7 @@ let create ?(config = Config.default) () =
   {
     config;
     stats = Stats.create ();
+    telemetry = Telemetry.create ();
     segs = Array.make 16 [||];
     infos = Array.init 16 (fun _ -> fresh_info ());
     nsegs = 0;
@@ -128,6 +132,7 @@ let create ?(config = Config.default) () =
             p_objs = Vec.Int.create ();
             p_reps = Vec.Int.create ();
             p_tconcs = Vec.Int.create ();
+            p_gids = Vec.Int.create ();
           });
     global_cells = Array.make 64 Word.nil;
     global_cells_len = 0;
@@ -147,6 +152,7 @@ let create ?(config = Config.default) () =
 
 let config t = t.config
 let stats t = t.stats
+let telemetry t = t.telemetry
 let gc_epoch t = t.gc_epoch
 let max_generation t = t.config.max_generation
 
@@ -421,18 +427,21 @@ let with_cell t w f =
     added to the protected list for generation 0, exactly as in the paper.
     [rep] is what the collector will enqueue when [obj] proves
     inaccessible. *)
-let protected_add t ~obj ~rep ~tconc =
+let protected_add t ~gid ~obj ~rep ~tconc =
   let p = t.protected.(0) in
   Vec.Int.push p.p_objs obj;
   Vec.Int.push p.p_reps rep;
   Vec.Int.push p.p_tconcs tconc;
-  t.stats.registrations <- t.stats.registrations + 1
+  Vec.Int.push p.p_gids gid;
+  t.stats.registrations <- t.stats.registrations + 1;
+  Telemetry.record_registration t.telemetry ~gid
 
-let protected_add_gen t ~generation ~obj ~rep ~tconc =
+let protected_add_gen t ~generation ~gid ~obj ~rep ~tconc =
   let p = t.protected.(generation) in
   Vec.Int.push p.p_objs obj;
   Vec.Int.push p.p_reps rep;
-  Vec.Int.push p.p_tconcs tconc
+  Vec.Int.push p.p_tconcs tconc;
+  Vec.Int.push p.p_gids gid
 
 let protected_length t generation =
   Vec.Int.length t.protected.(generation).p_objs

@@ -44,14 +44,17 @@ type protected = {
   p_objs : Vec.Int.t;
   p_reps : Vec.Int.t;
   p_tconcs : Vec.Int.t;
+  p_gids : Vec.Int.t;
 }
 (** Parallel vectors: one guardian registration per index.  [rep] is the
     word enqueued when [obj] proves inaccessible (equal to [obj] for plain
-    registrations; a distinct agent for the paper's Section 5 interface). *)
+    registrations; a distinct agent for the paper's Section 5 interface).
+    [gid] is the owning guardian's telemetry id. *)
 
 type t = {
   config : Config.t;
   stats : Stats.t;
+  telemetry : Telemetry.t;
   mutable segs : int array array;
   mutable infos : seg_info array;
   mutable nsegs : int;
@@ -86,6 +89,9 @@ type t = {
 val create : ?config:Config.t -> unit -> t
 val config : t -> Config.t
 val stats : t -> Stats.t
+
+val telemetry : t -> Telemetry.t
+(** The heap's telemetry hub (created disabled; see {!Telemetry}). *)
 
 val gc_epoch : t -> int
 (** Bumped at the end of every collection; lets caches (e.g. address-hash
@@ -168,11 +174,13 @@ val with_cell : t -> Word.t -> (int -> 'a) -> 'a
 
 (** {1 Protected lists (guardian registrations)} *)
 
-val protected_add : t -> obj:Word.t -> rep:Word.t -> tconc:Word.t -> unit
-(** Add an entry to generation 0's protected list, as in the paper. *)
+val protected_add :
+  t -> gid:int -> obj:Word.t -> rep:Word.t -> tconc:Word.t -> unit
+(** Add an entry to generation 0's protected list, as in the paper.
+    [gid] is the registering guardian's telemetry id ({!Guardian.id}). *)
 
 val protected_add_gen :
-  t -> generation:int -> obj:Word.t -> rep:Word.t -> tconc:Word.t -> unit
+  t -> generation:int -> gid:int -> obj:Word.t -> rep:Word.t -> tconc:Word.t -> unit
 
 val protected_length : t -> int -> int
 val protected_total : t -> int

@@ -49,6 +49,8 @@ let zero () =
     segments_allocated = 0;
   }
 
+let copy c = { c with collections = c.collections }
+
 type t = {
   last : counters;  (** counters of the most recent collection *)
   total : counters;  (** lifetime totals *)
@@ -57,6 +59,8 @@ type t = {
   mutable guardian_polls : int;  (** mutator guardian invocations *)
   mutable guardian_hits : int;  (** polls that returned an object *)
   mutable registrations : int;
+  mutable tconc_enqueues : int;  (** cells appended (collector and mutator) *)
+  mutable tconc_dequeues : int;  (** mutator removals that yielded an element *)
 }
 
 let create () =
@@ -68,6 +72,8 @@ let create () =
     guardian_polls = 0;
     guardian_hits = 0;
     registrations = 0;
+    tconc_enqueues = 0;
+    tconc_dequeues = 0;
   }
 
 let begin_collection t =

@@ -29,6 +29,9 @@ type counters = {
 
 val zero : unit -> counters
 
+val copy : counters -> counters
+(** A private snapshot (counters are mutable records). *)
+
 type t = {
   last : counters;  (** counters of the most recent collection *)
   total : counters;  (** lifetime totals *)
@@ -37,6 +40,8 @@ type t = {
   mutable guardian_polls : int;  (** mutator guardian invocations *)
   mutable guardian_hits : int;  (** polls that returned an object *)
   mutable registrations : int;
+  mutable tconc_enqueues : int;  (** cells appended (collector and mutator) *)
+  mutable tconc_dequeues : int;  (** mutator removals that yielded an element *)
 }
 
 val create : unit -> t

@@ -46,6 +46,8 @@ let to_list h tc =
     target generation via {!Heap.gc_alloc}; tests and the mutator-side
     variant use ordinary allocation. *)
 let enqueue_with h ~alloc_pair tc obj =
+  let stats = Heap.stats h in
+  stats.Stats.tconc_enqueues <- stats.Stats.tconc_enqueues + 1;
   let old_last = Obj.cdr h tc in
   let new_last = alloc_pair Word.false_ Word.nil in
   Obj.set_car h old_last obj;
@@ -107,6 +109,8 @@ let mutator_enqueue h tc obj =
 let dequeue h tc =
   if is_empty h tc then None
   else begin
+    let stats = Heap.stats h in
+    stats.Stats.tconc_dequeues <- stats.Stats.tconc_dequeues + 1;
     let x = Obj.car h tc in
     let v = Obj.car h x in
     Obj.set_car h tc (Obj.cdr h x);

@@ -53,7 +53,7 @@ and t = {
   mutable echo : bool;  (** also write console output to stdout *)
   mutable in_handler : bool;
   mutable scanner_id : int;
-  mutable trace : Trace.t option;
+  mutable gc_ring : Telemetry.Ring.t option;
 }
 
 let dummy_code : Instr.code = { name = "dummy"; clauses = [] }
@@ -88,10 +88,13 @@ let create ?(ctx : Gbc.Ctx.t option) ?config () =
       echo = false;
       in_handler = false;
       scanner_id = -1;
-      trace = None;
+      gc_ring = None;
     }
   in
-  m.trace <- Some (Trace.attach ~capacity:128 heap);
+  (* The Scheme system always observes its collector: gc-history,
+     gc-phase-stats and pause-histogram read from the telemetry hub. *)
+  Telemetry.set_enabled (Heap.telemetry heap) true;
+  m.gc_ring <- Some (Telemetry.Ring.attach ~capacity:128 (Heap.telemetry heap));
   let scanner rewrite =
     for i = 0 to m.sp - 1 do
       m.stack.(i) <- rewrite m.stack.(i)
@@ -106,10 +109,10 @@ let create ?(ctx : Gbc.Ctx.t option) ?config () =
 
 let dispose m =
   Heap.remove_scanner m.heap m.scanner_id;
-  Option.iter Trace.detach m.trace;
-  m.trace <- None
+  Option.iter Telemetry.Ring.detach m.gc_ring;
+  m.gc_ring <- None
 
-let trace m = m.trace
+let gc_ring m = m.gc_ring
 
 let heap m = m.heap
 let ctx m = m.ctx

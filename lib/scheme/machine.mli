@@ -29,8 +29,9 @@ val dispose : t -> unit
 
 val heap : t -> Heap.t
 
-(** The machine's collection trace ring (128 records). *)
-val trace : t -> Trace.t option
+(** The machine's collection record ring (128 records; the heap's
+    telemetry is enabled by {!create}). *)
+val gc_ring : t -> Telemetry.Ring.t option
 val ctx : t -> Gbc.Ctx.t
 val symtab : t -> Symtab.t
 

@@ -123,12 +123,34 @@ let source =
 ;; The paper's user-level guardian interface: guardians are procedures.
 ;; (make-guardian) -> guardian; (g obj) registers, (g obj rep) registers
 ;; with a representative (Section 5), (g) retrieves or returns #f.
+;; Registry mapping make-guardian closures back to their raw guardian
+;; objects, so guardian-stats can accept either form.  Entries are
+;; ephemerons keyed by the closure: the registry keeps neither the
+;; closure nor (crucially) its guardian alive, so dropping the procedure
+;; still cancels the guardian's registrations.
+(define %guardian-registry '())
+
 (define (make-guardian)
-  (let ([g (%make-guardian)])
-    (case-lambda
-      [() (%guardian-retrieve g)]
-      [(obj) (%guardian-register g obj)]
-      [(obj rep) (%guardian-register-rep g obj rep)])))
+  (let* ([g (%make-guardian)]
+         [proc (case-lambda
+                 [() (%guardian-retrieve g)]
+                 [(obj) (%guardian-register g obj)]
+                 [(obj rep) (%guardian-register-rep g obj rep)])])
+    (set! %guardian-registry (cons (ephemeron-cons proc g) %guardian-registry))
+    proc))
+
+;; Lifecycle metrics as a vector #(registrations resurrections drops polls
+;; hits latency-sum latency-max pending).  Accepts a raw guardian object or
+;; the procedure returned by make-guardian.
+(define (guardian-stats g)
+  (if (guardian? g)
+      (%guardian-stats g)
+      (let loop ([r %guardian-registry])
+        (if (null? r)
+            (error "guardian-stats: not a guardian")
+            (if (eq? (car (car r)) g)
+                (%guardian-stats (cdr (car r)))
+                (loop (cdr r)))))))
 
 ;; Conservative transport guardians, exactly as in the paper (Section 3).
 (define (make-transport-guardian)

@@ -282,20 +282,68 @@ let install (m : Machine.t) =
   p "gc-history" ~min:0 (fun m _ ->
       (* Most recent collections, oldest first, as vectors
          #(ordinal generation words-copied resurrections). *)
-      match Machine.trace m with
+      match Machine.gc_ring m with
       | None -> Word.nil
-      | Some tr ->
+      | Some ring ->
           let lst = ref Word.nil in
           List.iter
-            (fun (r : Trace.record) ->
+            (fun (r : Telemetry.Ring.record) ->
               let v = Obj.make_vector h ~len:4 ~init:(Word.of_fixnum 0) in
-              Obj.vector_set h v 0 (Word.of_fixnum r.Trace.ordinal);
-              Obj.vector_set h v 1 (Word.of_fixnum r.Trace.generation);
-              Obj.vector_set h v 2 (Word.of_fixnum r.Trace.words_copied);
-              Obj.vector_set h v 3 (Word.of_fixnum r.Trace.resurrections);
+              Obj.vector_set h v 0 (Word.of_fixnum r.Telemetry.Ring.ordinal);
+              Obj.vector_set h v 1 (Word.of_fixnum r.Telemetry.Ring.generation);
+              Obj.vector_set h v 2
+                (Word.of_fixnum r.Telemetry.Ring.counters.Stats.words_copied);
+              Obj.vector_set h v 3
+                (Word.of_fixnum
+                   r.Telemetry.Ring.counters.Stats.guardian_resurrections);
               lst := Obj.cons h v !lst)
-            (List.rev (Trace.records tr));
+            (List.rev (Telemetry.Ring.records ring));
           !lst);
+  p "gc-phase-stats" ~min:0 (fun m _ ->
+      (* One vector per collector phase, in phase order:
+         #(name total-ns last-ns total-work last-work), ns as flonums. *)
+      let tel = Heap.telemetry h in
+      let lst = ref Word.nil in
+      List.iter
+        (fun ph ->
+          let v = Obj.make_vector h ~len:5 ~init:(Word.of_fixnum 0) in
+          Obj.vector_set h v 0
+            (Symtab.intern (Machine.symtab m) (Telemetry.phase_name ph));
+          Obj.vector_set h v 1 (Obj.make_flonum h (Telemetry.phase_ns_total tel ph));
+          Obj.vector_set h v 2 (Obj.make_flonum h (Telemetry.phase_ns_last tel ph));
+          Obj.vector_set h v 3 (Word.of_fixnum (Telemetry.phase_work_total tel ph));
+          Obj.vector_set h v 4 (Word.of_fixnum (Telemetry.phase_work_last tel ph));
+          lst := Obj.cons h v !lst)
+        (List.rev Telemetry.all_phases);
+      !lst);
+  p "pause-histogram" ~min:0 (fun _ _ ->
+      (* Non-empty log2 buckets of full-collection pause times, as
+         #(lo-ns hi-ns count) with flonum bounds, smallest first. *)
+      let hist = Telemetry.pause_histogram (Heap.telemetry h) in
+      let lst = ref Word.nil in
+      List.iter
+        (fun (lo, hi, count) ->
+          let v = Obj.make_vector h ~len:3 ~init:(Word.of_fixnum 0) in
+          Obj.vector_set h v 0 (Obj.make_flonum h lo);
+          Obj.vector_set h v 1 (Obj.make_flonum h hi);
+          Obj.vector_set h v 2 (Word.of_fixnum count);
+          lst := Obj.cons h v !lst)
+        (List.rev (Telemetry.Histogram.nonempty_buckets hist));
+      !lst);
+  p1 "%guardian-stats" (fun _ g ->
+      (* #(registrations resurrections drops polls hits latency-sum
+          latency-max pending) for one guardian. *)
+      let gs = Guardian.stats h (want_guardian "guardian-stats" h g) in
+      let v = Obj.make_vector h ~len:8 ~init:(Word.of_fixnum 0) in
+      Obj.vector_set h v 0 (Word.of_fixnum gs.Telemetry.g_registrations);
+      Obj.vector_set h v 1 (Word.of_fixnum gs.Telemetry.g_resurrections);
+      Obj.vector_set h v 2 (Word.of_fixnum gs.Telemetry.g_drops);
+      Obj.vector_set h v 3 (Word.of_fixnum gs.Telemetry.g_polls);
+      Obj.vector_set h v 4 (Word.of_fixnum gs.Telemetry.g_hits);
+      Obj.vector_set h v 5 (Word.of_fixnum gs.Telemetry.g_latency_sum);
+      Obj.vector_set h v 6 (Word.of_fixnum gs.Telemetry.g_latency_max);
+      Obj.vector_set h v 7 (Word.of_fixnum (Guardian.pending_count h g));
+      v);
   p1 "eq-hash" (fun _ w -> Word.of_fixnum (Obj.eq_hash w land 0xFFFFFFFF));
   p1 "collect-request-handler" (fun m proc ->
       if Word.is_false proc then begin

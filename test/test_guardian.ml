@@ -230,6 +230,69 @@ let test_mutator_counters () =
   check_int "two polls" (polls0 + 2) s.Stats.guardian_polls;
   check_int "one hit" (hits0 + 1) s.Stats.guardian_hits
 
+let test_per_guardian_lifecycle_stats () =
+  (* The telemetry layer's per-guardian metrics: registrations,
+     resurrections, polls, hits, and drops, keyed by the stable id stored
+     in the guardian object (so it survives copying collections). *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  let other = Handle.create h (Guardian.make h) in
+  check "distinct ids" true
+    (Guardian.id h (Handle.get g) <> Guardian.id h (Handle.get other));
+  let id_before = Guardian.id h (Handle.get g) in
+  Guardian.register h (Handle.get g) (Obj.cons h (fx 1) Word.nil);
+  Guardian.register h (Handle.get g) (Obj.cons h (fx 2) Word.nil);
+  full_collect h;
+  check_int "id survives collection" id_before (Guardian.id h (Handle.get g));
+  ignore (Guardian.retrieve h (Handle.get g));
+  ignore (Guardian.retrieve h (Handle.get g));
+  ignore (Guardian.retrieve h (Handle.get g));
+  let s = Guardian.stats h (Handle.get g) in
+  check_int "registrations" 2 s.Telemetry.g_registrations;
+  check_int "resurrections" 2 s.Telemetry.g_resurrections;
+  check_int "polls" 3 s.Telemetry.g_polls;
+  check_int "hits" 2 s.Telemetry.g_hits;
+  (* The other guardian saw none of this. *)
+  let s' = Guardian.stats h (Handle.get other) in
+  check_int "other untouched" 0 s'.Telemetry.g_polls;
+  check_int "other no registrations" 0 s'.Telemetry.g_registrations
+
+let test_poll_latency () =
+  (* Latency counts the collections between an entry's resurrection and
+     its retrieval.  First entry: resurrected, then two more full
+     collections pass before the mutator polls -> latency 2.  Second
+     entry: retrieved immediately after its collection -> latency 0. *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  Guardian.register h (Handle.get g) (Obj.cons h (fx 1) Word.nil);
+  full_collect h;
+  full_collect h;
+  full_collect h;
+  check "late retrieval hits" true (Guardian.retrieve h (Handle.get g) <> None);
+  let s = Guardian.stats h (Handle.get g) in
+  check_int "latency of late retrieval" 2 s.Telemetry.g_latency_sum;
+  check_int "latency max" 2 s.Telemetry.g_latency_max;
+  Guardian.register h (Handle.get g) (Obj.cons h (fx 2) Word.nil);
+  full_collect h;
+  check "prompt retrieval hits" true (Guardian.retrieve h (Handle.get g) <> None);
+  let s = Guardian.stats h (Handle.get g) in
+  check_int "prompt retrieval adds no latency" 2 s.Telemetry.g_latency_sum;
+  check_int "latency max unchanged" 2 s.Telemetry.g_latency_max
+
+let test_drop_counted_per_guardian () =
+  (* A dead guardian's pending entries count as drops on its stats. *)
+  let h = heap () in
+  let tel = Heap.telemetry h in
+  let g = Guardian.make h in
+  let gid = Guardian.id h g in
+  Guardian.register h g (Obj.cons h (fx 1) Word.nil);
+  Guardian.register h g (Obj.cons h (fx 2) Word.nil);
+  (* Drop the guardian itself; both registered objects die with it. *)
+  full_collect h;
+  let s = Telemetry.guardian_stats tel gid in
+  check_int "both entries dropped" 2 s.Telemetry.g_drops;
+  check_int "no resurrections" 0 s.Telemetry.g_resurrections
+
 let test_entries_promoted_with_object () =
   (* A live registration's protected entry moves to the target generation:
      later minor collections do not visit it (generation-friendliness). *)
@@ -312,6 +375,13 @@ let () =
           Alcotest.test_case "single-list ablation (D1)" `Quick test_single_list_ablation;
         ] );
       ( "counters",
-        [ Alcotest.test_case "mutator counters" `Quick test_mutator_counters ] );
+        [
+          Alcotest.test_case "mutator counters" `Quick test_mutator_counters;
+          Alcotest.test_case "per-guardian lifecycle" `Quick
+            test_per_guardian_lifecycle_stats;
+          Alcotest.test_case "poll latency" `Quick test_poll_latency;
+          Alcotest.test_case "drops per guardian" `Quick
+            test_drop_counted_per_guardian;
+        ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_partition ]);
     ]

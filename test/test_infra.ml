@@ -82,50 +82,56 @@ let test_catches_stored_forward_marker () =
   check "marker caught" true
     (List.length (Verify.verify h) > 0)
 
-(* --- trace ring ------------------------------------------------------ *)
+(* --- telemetry ring --------------------------------------------------- *)
+
+let traced_heap () =
+  let h = heap () in
+  Telemetry.set_enabled (Heap.telemetry h) true;
+  h
 
 let test_trace_records () =
-  let h = heap () in
-  let tr = Trace.attach ~capacity:8 h in
+  let h = traced_heap () in
+  let tr = Telemetry.Ring.attach ~capacity:8 (Heap.telemetry h) in
   let keep = Handle.create h (Obj.list_of h (List.map fx [ 1; 2; 3 ])) in
   ignore (Collector.collect h ~gen:0);
   ignore (Collector.collect h ~gen:1);
-  let recs = Trace.records tr in
+  let recs = Telemetry.Ring.records tr in
   check_int "two records" 2 (List.length recs);
   let r1 = List.nth recs 0 and r2 = List.nth recs 1 in
-  check_int "gen of first" 0 r1.Trace.generation;
-  check_int "gen of second" 1 r2.Trace.generation;
-  check "ordinals increase" true (r2.Trace.ordinal > r1.Trace.ordinal);
-  check "copied something" true (r1.Trace.words_copied > 0);
-  check "live recorded" true (r1.Trace.live_words_after > 0);
+  check_int "gen of first" 0 r1.Telemetry.Ring.generation;
+  check_int "gen of second" 1 r2.Telemetry.Ring.generation;
+  check "ordinals increase" true (r2.Telemetry.Ring.ordinal > r1.Telemetry.Ring.ordinal);
+  check "copied something" true (r1.Telemetry.Ring.counters.Stats.words_copied > 0);
+  check "live recorded" true (r1.Telemetry.Ring.live_words_after > 0);
   ignore keep;
-  Trace.detach tr;
+  Telemetry.Ring.detach tr;
   ignore (Collector.collect h ~gen:0);
-  check_int "no records after detach" 2 (List.length (Trace.records tr))
+  check_int "no records after detach" 2 (List.length (Telemetry.Ring.records tr))
 
 let test_trace_ring_bounded () =
-  let h = heap () in
-  let tr = Trace.attach ~capacity:4 h in
+  let h = traced_heap () in
+  let tr = Telemetry.Ring.attach ~capacity:4 (Heap.telemetry h) in
   for _ = 1 to 10 do
     ignore (Collector.collect h ~gen:0)
   done;
-  let recs = Trace.records tr in
+  let recs = Telemetry.Ring.records tr in
   check_int "bounded" 4 (List.length recs);
-  check_int "total counted" 10 (Trace.total_recorded tr);
+  check_int "total counted" 10 (Telemetry.Ring.total_recorded tr);
   (* The retained ones are the most recent, in order. *)
-  let ords = List.map (fun r -> r.Trace.ordinal) recs in
+  let ords = List.map (fun r -> r.Telemetry.Ring.ordinal) recs in
   Alcotest.(check (list int)) "latest four" [ 7; 8; 9; 10 ] ords;
-  Trace.detach tr
+  Telemetry.Ring.detach tr
 
 let test_trace_guardian_counters () =
-  let h = heap () in
-  let tr = Trace.attach h in
+  let h = traced_heap () in
+  let tr = Telemetry.Ring.attach (Heap.telemetry h) in
   let g = Handle.create h (Guardian.make h) in
   Guardian.register h (Handle.get g) (Obj.cons h (fx 1) Word.nil);
   full_collect h;
-  let r = List.hd (List.rev (Trace.records tr)) in
-  check_int "resurrection recorded" 1 r.Trace.resurrections;
-  Trace.detach tr
+  let r = List.hd (List.rev (Telemetry.Ring.records tr)) in
+  check_int "resurrection recorded" 1
+    r.Telemetry.Ring.counters.Stats.guardian_resurrections;
+  Telemetry.Ring.detach tr
 
 (* --- heap isolation --------------------------------------------------- *)
 
