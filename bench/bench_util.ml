@@ -86,6 +86,11 @@ module Gc_report = struct
     mutable registrations : int;
     mutable tconc_enqueues : int;
     mutable tconc_dequeues : int;
+    mutable barrier_calls : int;
+    mutable barrier_hits : int;
+    mutable cards_dirtied : int;
+    mutable extras : (string * float) list;
+        (* benchmark-specific scalars, emitted under "extra" *)
   }
 
   let current : agg option ref = ref None
@@ -98,6 +103,13 @@ module Gc_report = struct
     into.Stats.root_words <- into.Stats.root_words + c.Stats.root_words;
     into.Stats.dirty_segments_scanned <-
       into.Stats.dirty_segments_scanned + c.Stats.dirty_segments_scanned;
+    into.Stats.cards_scanned <- into.Stats.cards_scanned + c.Stats.cards_scanned;
+    into.Stats.card_words_swept <-
+      into.Stats.card_words_swept + c.Stats.card_words_swept;
+    into.Stats.dirty_candidate_words <-
+      into.Stats.dirty_candidate_words + c.Stats.dirty_candidate_words;
+    into.Stats.guardian_pend_checks <-
+      into.Stats.guardian_pend_checks + c.Stats.guardian_pend_checks;
     into.Stats.protected_entries_visited <-
       into.Stats.protected_entries_visited + c.Stats.protected_entries_visited;
     into.Stats.guardian_resurrections <-
@@ -158,7 +170,18 @@ module Gc_report = struct
           registrations = 0;
           tconc_enqueues = 0;
           tconc_dequeues = 0;
+          barrier_calls = 0;
+          barrier_hits = 0;
+          cards_dirtied = 0;
+          extras = [];
         }
+
+  (* Record a benchmark-specific scalar under the running benchmark's
+     "extra" JSON object (latest value wins per key). *)
+  let add_extra key value =
+    match !current with
+    | None -> ()
+    | Some agg -> agg.extras <- (key, value) :: List.remove_assoc key agg.extras
 
   let finish () =
     match !current with
@@ -171,7 +194,10 @@ module Gc_report = struct
             agg.hits <- agg.hits + s.Stats.guardian_hits;
             agg.registrations <- agg.registrations + s.Stats.registrations;
             agg.tconc_enqueues <- agg.tconc_enqueues + s.Stats.tconc_enqueues;
-            agg.tconc_dequeues <- agg.tconc_dequeues + s.Stats.tconc_dequeues)
+            agg.tconc_dequeues <- agg.tconc_dequeues + s.Stats.tconc_dequeues;
+            agg.barrier_calls <- agg.barrier_calls + s.Stats.barrier_calls;
+            agg.barrier_hits <- agg.barrier_hits + s.Stats.barrier_hits;
+            agg.cards_dirtied <- agg.cards_dirtied + s.Stats.cards_dirtied)
           agg.heaps;
         agg.heaps <- [];
         current := None;
@@ -219,16 +245,46 @@ module Gc_report = struct
         bprintf
           "      \"counters\": {\"words_copied\": %d, \"words_swept\": %d, \
            \"entries_visited\": %d, \"resurrections\": %d, \"entries_dropped\": \
-           %d, \"weak_broken\": %d, \"ephemerons_broken\": %d},\n"
+           %d, \"weak_broken\": %d, \"ephemerons_broken\": %d, \
+           \"cards_scanned\": %d, \"card_words_swept\": %d, \
+           \"dirty_candidate_words\": %d, \"dirty_segments_scanned\": %d, \
+           \"guardian_pend_checks\": %d},\n"
           c.Stats.words_copied c.Stats.words_swept
           c.Stats.protected_entries_visited c.Stats.guardian_resurrections
           c.Stats.guardian_entries_dropped c.Stats.weak_pointers_broken
-          c.Stats.ephemerons_broken;
+          c.Stats.ephemerons_broken c.Stats.cards_scanned
+          c.Stats.card_words_swept c.Stats.dirty_candidate_words
+          c.Stats.dirty_segments_scanned c.Stats.guardian_pend_checks;
         bprintf
           "      \"mutator\": {\"registrations\": %d, \"polls\": %d, \"hits\": \
            %d, \"tconc_enqueues\": %d, \"tconc_dequeues\": %d},\n"
           agg.registrations agg.polls agg.hits agg.tconc_enqueues
           agg.tconc_dequeues;
+        (* Write-barrier profile and the card table's dirty-scan win:
+           card_words_swept / dirty_candidate_words is the fraction of a
+           segment-granular scan's work the card-granular scan performed. *)
+        bprintf
+          "      \"barrier\": {\"calls\": %d, \"hits\": %d, \"hit_rate\": \
+           %.6f, \"cards_dirtied\": %d},\n"
+          agg.barrier_calls agg.barrier_hits
+          (float_of_int agg.barrier_hits /. float_of_int (max 1 agg.barrier_calls))
+          agg.cards_dirtied;
+        bprintf
+          "      \"dirty_scan\": {\"cards_per_dirty_segment\": %.3f, \
+           \"words_ratio\": %.6f},\n"
+          (float_of_int c.Stats.cards_scanned
+          /. float_of_int (max 1 c.Stats.dirty_segments_scanned))
+          (float_of_int c.Stats.card_words_swept
+          /. float_of_int (max 1 c.Stats.dirty_candidate_words));
+        if agg.extras <> [] then begin
+          bprintf "      \"extra\": {";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then bprintf ", ";
+              bprintf "%S: %.6f" k v)
+            (List.rev agg.extras);
+          bprintf "},\n"
+        end;
         (* C1: collector-side guardian overhead relative to the copying and
            sweeping work already done.  C2: mutator polls per clean-up
            actually performed (DESIGN.md, Observability). *)

@@ -95,6 +95,9 @@ let copy t ~target w =
         stats.objects_copied <- stats.objects_copied + 1;
         store t addr Word.forward_marker;
         store t (addr + 1) new_word;
+        (* Guardian-fixpoint worklist feed: each object forwards once, so
+           the log sees each from-space address at most once. *)
+        if t.gc_log_forwards then Vec.Int.push t.gc_forward_log addr;
         new_word
       end
     end
@@ -106,8 +109,6 @@ let copy t ~target w =
 (* Generation of a word for remembered-set recomputation. *)
 let ref_gen t w = if Word.is_pointer w then (info_of_word t w).generation else max_int
 
-let note_min si g = if g < si.min_ref_gen then si.min_ref_gen <- g
-
 let push_dirty t seg =
   let si = info t seg in
   if si.min_ref_gen < si.generation && not si.on_dirty_list then begin
@@ -116,15 +117,16 @@ let push_dirty t seg =
   end
 
 (* Sweep the words of [seg] in [from, to_) as strong references: rewrite
-   each traced slot through [copy] and fold the referenced generations into
-   min_ref_gen.  Weak-space segments trace only cdr fields. *)
+   each traced slot through [copy] and note the referenced generations in
+   the card table (which keeps min_ref_gen in sync).  Weak-space segments
+   trace only cdr fields. *)
 let sweep_range t ~target seg ~from ~upto =
   let si = info t seg in
   let stats = (Heap.stats t).last in
   let fwd addr =
     let w = copy t ~target (load t addr) in
     store t addr w;
-    note_min si (ref_gen t w)
+    note_ref t ~addr ~gen:(ref_gen t w)
   in
   (match si.space with
   | Space.Pair ->
@@ -193,10 +195,8 @@ let process_ephemerons t ~target =
         (* The key is reachable: the value is strong after all. *)
         let v = copy t ~target (load t (addr + 1)) in
         store t (addr + 1) v;
-        let si = info_of_addr t addr in
-        note_min si (ref_gen t key');
-        note_min si (ref_gen t v);
-        push_dirty t (seg_of_addr addr)
+        note_ref t ~addr ~gen:(ref_gen t key');
+        note_ref t ~addr:(addr + 1) ~gen:(ref_gen t v)
     | None ->
         Vec.Int.set pending !write addr;
         incr write
@@ -277,17 +277,41 @@ let guardian_pass t ~g ~target =
     Vec.Int.clear p.p_gids
   done;
   kleene_sweep t ~target;
-  (* Second block: repeatedly queue inaccessible objects whose guardian is
-     accessible.  Forwarding the saved objects may make further guardians
-     accessible (a guardian registered with a guardian), hence the loop. *)
-  let continue_ = ref true in
-  while !continue_ do
-    let final, rest = List.partition (fun e -> forwarded t e.tconc) !pend_final in
-    pend_final := rest;
-    if final = [] then continue_ := false
-    else begin
-      List.iter
-        (fun e ->
+  (* Second block: queue inaccessible objects whose guardian is
+     accessible.  Forwarding the saved representatives can make further
+     guardians accessible (a guardian registered with a guardian), so
+     instead of repeatedly re-partitioning pend-final-list, entries whose
+     tconc is still in from-space wait in a table keyed by the tconc's
+     address, and every object forwarded while the fixpoint runs is
+     logged ([gc_forward_log]); draining the log wakes exactly the
+     waiters of the addresses that forwarded.  Each entry is checked at
+     most twice — at partition and when its tconc forwards — so the
+     fixpoint costs O(1) amortized per entry, proportional to the
+     entries actually saved. *)
+  let waiters : (int, pend list ref) Hashtbl.t = Hashtbl.create 16 in
+  let work = Queue.create () in
+  List.iter
+    (fun e ->
+      stats.guardian_pend_checks <- stats.guardian_pend_checks + 1;
+      if forwarded t e.tconc then Queue.add e work
+      else begin
+        let key = Word.addr e.tconc in
+        match Hashtbl.find_opt waiters key with
+        | Some r -> r := e :: !r
+        | None -> Hashtbl.add waiters key (ref [ e ])
+      end)
+    !pend_final;
+  pend_final := [];
+  t.gc_log_forwards <- true;
+  Vec.Int.clear t.gc_forward_log;
+  Fun.protect
+    ~finally:(fun () ->
+      t.gc_log_forwards <- false;
+      Vec.Int.clear t.gc_forward_log)
+    (fun () ->
+      while not (Queue.is_empty work) do
+        while not (Queue.is_empty work) do
+          let e = Queue.pop work in
           let rep = copy t ~target e.rep in
           let tc = forward_address t e.tconc in
           Tconc.enqueue_with t
@@ -298,19 +322,34 @@ let guardian_pass t ~g ~target =
               Word.pair_ptr addr)
             tc rep;
           stats.guardian_resurrections <- stats.guardian_resurrections + 1;
-          (* Latency bookkeeping: the entry becomes retrievable at the epoch
-             following this collection. *)
+          (* Latency bookkeeping: the entry becomes retrievable at the
+             epoch following this collection. *)
           Telemetry.record_resurrection t.telemetry ~gid:e.gid
-            ~epoch:(t.gc_epoch + 1))
-        final;
-      kleene_sweep t ~target
-    end
-  done;
-  List.iter
-    (fun e ->
-      stats.guardian_entries_dropped <- stats.guardian_entries_dropped + 1;
-      Telemetry.record_drop t.telemetry ~gid:e.gid)
-    !pend_final;
+            ~epoch:(t.gc_epoch + 1)
+        done;
+        kleene_sweep t ~target;
+        (* Tconcs forwarded by the saves above release their waiters. *)
+        Vec.Int.iter t.gc_forward_log ~f:(fun addr ->
+            match Hashtbl.find_opt waiters addr with
+            | Some r ->
+                Hashtbl.remove waiters addr;
+                List.iter
+                  (fun e ->
+                    stats.guardian_pend_checks <- stats.guardian_pend_checks + 1;
+                    Queue.add e work)
+                  (List.rev !r)
+            | None -> ());
+        Vec.Int.clear t.gc_forward_log
+      done);
+  (* Entries still waiting: their guardian itself died. *)
+  Hashtbl.iter
+    (fun _ r ->
+      List.iter
+        (fun e ->
+          stats.guardian_entries_dropped <- stats.guardian_entries_dropped + 1;
+          Telemetry.record_drop t.telemetry ~gid:e.gid)
+        !r)
+    waiters;
   (* Third block: entries whose object is still accessible survive into the
      target generation's protected list — provided their guardian does. *)
   let entry_generation =
@@ -340,8 +379,7 @@ let guardian_pass t ~g ~target =
 (* Mend or break the car of the weak pair at [addr] (car slot).  Runs after
    the guardian pass, so guarded-saved objects have forwarding addresses and
    their weak pointers survive. *)
-let process_weak_car t seg addr =
-  let si = info t seg in
+let process_weak_car t addr =
   let stats = (Heap.stats t).last in
   stats.weak_pairs_scanned <- stats.weak_pairs_scanned + 1;
   let w = load t addr in
@@ -351,44 +389,101 @@ let process_weak_car t seg addr =
       if Word.equal (load t (Word.addr w)) Word.forward_marker then begin
         let w' = load t (Word.addr w + 1) in
         store t addr w';
-        note_min si (ref_gen t w')
+        note_ref t ~addr ~gen:(ref_gen t w')
       end
       else begin
         store t addr Word.false_;
         stats.weak_pointers_broken <- stats.weak_pointers_broken + 1
       end
     end
-    else note_min si (ref_gen t w)
+    else note_ref t ~addr ~gen:(ref_gen t w)
   end
 
-let weak_pass t ~dirty_weak_segs =
-  let scan_weak_segment seg =
-    let si = info t seg in
-    let off = ref 0 in
-    while !off < si.used do
-      process_weak_car t seg (addr_of ~seg ~off:!off);
+let weak_pass t ~dirty_weak_cards =
+  let scan_range seg ~from ~upto =
+    let off = ref from in
+    while !off < upto do
+      process_weak_car t (addr_of ~seg ~off:!off);
       off := !off + 2
     done;
-    push_dirty t seg
+    refresh_remembered t seg
   in
   (* Weak pairs copied during this collection... *)
   Vec.Int.iter t.gc_new_segs ~f:(fun seg ->
       let si = info t seg in
-      if si.live && si.space = Space.Weak then scan_weak_segment seg);
-  (* ...and weak pairs in older generations whose segment was dirty. *)
-  List.iter scan_weak_segment dirty_weak_segs
+      if si.live && si.space = Space.Weak then scan_range seg ~from:0 ~upto:si.used);
+  (* ...and weak pairs in the dirty cards of older weak segments: their
+     cdrs were swept by the dirty scan, which reset the card bytes; the
+     cars are mended or broken here and their targets re-noted. *)
+  List.iter (fun (seg, from, upto) -> scan_range seg ~from ~upto) dirty_weak_cards
 
 (* ------------------------------------------------------------------ *)
 (* Dirty (remembered-set) scan                                         *)
 
-(* Sweep the remembered segments of generations older than [g] as roots.
-   Returns the weak-space segments among them, whose car fields still need
-   the weak pass.  Rebuilds the dirty list. *)
+(* Sweep one dirty card of a remembered segment: the words of [seg] in
+   [from, upto) — clamped to the slots that actually belong to the card —
+   as strong references.  Typed-space objects can straddle card
+   boundaries, so the scan starts from the object covering the card's
+   first word (the crossing map) and clamps the traced fields to the
+   card. *)
+let sweep_card t ~target seg ~from ~upto =
+  let si = info t seg in
+  let stats = (Heap.stats t).last in
+  let fwd addr =
+    let w = copy t ~target (load t addr) in
+    store t addr w;
+    note_ref t ~addr ~gen:(ref_gen t w)
+  in
+  (match si.space with
+  | Space.Pair ->
+      (* Cards are >= 8 words and a power of two: cells never straddle. *)
+      let off = ref from in
+      while !off < upto do
+        fwd (addr_of ~seg ~off:!off);
+        fwd (addr_of ~seg ~off:(!off + 1));
+        off := !off + 2
+      done
+  | Space.Weak ->
+      let off = ref from in
+      while !off < upto do
+        (* car is weak: left alone here, handled by the weak pass. *)
+        fwd (addr_of ~seg ~off:(!off + 1));
+        off := !off + 2
+      done
+  | Space.Ephemeron ->
+      let off = ref from in
+      while !off < upto do
+        Vec.Int.push t.gc_ephemerons (addr_of ~seg ~off:!off);
+        off := !off + 2
+      done
+  | Space.Typed ->
+      let off = ref (card_object_start t ~seg ~card:(card_of_off t from)) in
+      while !off < upto do
+        let hdr = load t (addr_of ~seg ~off:!off) in
+        let len = Obj.header_len hdr in
+        let lo = max (!off + 1) from in
+        let hi = min (!off + len) (upto - 1) in
+        for i = lo to hi do
+          fwd (addr_of ~seg ~off:i)
+        done;
+        off := !off + 1 + len
+      done
+  | Space.Data -> ());
+  stats.card_words_swept <- stats.card_words_swept + (upto - from);
+  stats.words_swept <- stats.words_swept + (upto - from)
+
+(* Sweep the remembered segments of generations older than [g] as roots —
+   card-granularly: only cards recorded as possibly reaching into the
+   condemned generations are visited; each is reset and its references
+   re-noted from scratch by the sweep.  Returns the dirty weak-space card
+   ranges, whose car fields still need the weak pass.  Rebuilds the dirty
+   list. *)
 let dirty_scan t ~g ~target =
   let stats = (Heap.stats t).last in
   let old_dirty = Vec.Int.to_list t.dirty in
   Vec.Int.clear t.dirty;
-  let weak_segs = ref [] in
+  let weak_cards = ref [] in
+  let cw = 1 lsl t.card_shift in
   List.iter
     (fun seg ->
       let si = info t seg in
@@ -396,17 +491,22 @@ let dirty_scan t ~g ~target =
       if si.live && not si.condemned then begin
         if si.min_ref_gen <= g then begin
           stats.dirty_segments_scanned <- stats.dirty_segments_scanned + 1;
-          (* Recompute the remembered generation from scratch during the
-             sweep (weak cars are folded in by the weak pass). *)
-          si.min_ref_gen <- si.generation;
-          sweep_range t ~target seg ~from:0 ~upto:si.used;
-          (match si.space with
-          | Space.Weak -> weak_segs := seg :: !weak_segs
-          | Space.Ephemeron ->
-              (* Cells were queued; min_ref_gen is recomputed as each cell
-                 is resolved or broken. *)
-              ()
-          | Space.Pair | Space.Typed | Space.Data -> push_dirty t seg)
+          stats.dirty_candidate_words <- stats.dirty_candidate_words + si.used;
+          let ncards = cards_in_use t seg in
+          for c = 0 to ncards - 1 do
+            if Bytes.get_uint8 si.cards c <= g then begin
+              stats.cards_scanned <- stats.cards_scanned + 1;
+              Bytes.set_uint8 si.cards c card_clean;
+              let from = c * cw in
+              let upto = min si.used (from + cw) in
+              sweep_card t ~target seg ~from ~upto;
+              if si.space = Space.Weak then
+                weak_cards := (seg, from, upto) :: !weak_cards
+            end
+          done;
+          (* Cards dirty only towards uncollected generations survive the
+             reset above and keep the segment remembered. *)
+          refresh_remembered t seg
         end
         else
           (* Still dirty, but only with respect to generations not being
@@ -415,7 +515,7 @@ let dirty_scan t ~g ~target =
           push_dirty t seg
       end)
     old_dirty;
-  !weak_segs
+  !weak_cards
 
 (* ------------------------------------------------------------------ *)
 (* Root scan                                                           *)
@@ -482,9 +582,9 @@ let collect ?weak_pass_first t ~gen:g =
   phase Telemetry.Root_scan
     (fun () -> stats.root_words)
     (fun () -> root_scan t ~target);
-  let dirty_weak_segs =
+  let dirty_weak_cards =
     phase Telemetry.Dirty_scan
-      (fun () -> stats.dirty_segments_scanned)
+      (fun () -> stats.card_words_swept)
       (fun () -> dirty_scan t ~g ~target)
   in
   phase Telemetry.Cheney_copy
@@ -503,7 +603,7 @@ let collect ?weak_pass_first t ~gen:g =
   let weak_phase () =
     phase Telemetry.Weak_pass
       (fun () -> stats.weak_pairs_scanned)
-      (fun () -> weak_pass t ~dirty_weak_segs)
+      (fun () -> weak_pass t ~dirty_weak_cards)
   in
   (* Guardian pass, then weak pass — in that order, so that weak pointers to
      objects saved by guardians survive (paper Section 4).  The switchable
@@ -537,8 +637,11 @@ let collect ?weak_pass_first t ~gen:g =
   t.in_collection <- false;
   (* The counter snapshot and live-word census are only paid for when
      someone is listening. *)
-  if Telemetry.enabled tel then
+  if Telemetry.enabled tel then begin
+    let s = Heap.stats t in
     Telemetry.collection_end tel ~counters:(Stats.copy stats)
-      ~live_words:(live_words t);
+      ~live_words:(live_words t) ~barrier_calls:s.Stats.barrier_calls
+      ~barrier_hits:s.Stats.barrier_hits ~cards_dirtied:s.Stats.cards_dirtied ()
+  end;
   run_post_gc_hooks t;
   { generation = g; target; duration_ns = Unix_time.now_ns () -. t0 }

@@ -23,6 +23,12 @@ type t = {
           visit entries of the generations actually being collected.
           [false] keeps every entry on generation 0's list — the ablation
           measured by bench E1b (DESIGN.md D1). *)
+  card_words : int;
+      (** Card size of the remembered set, in words (power of two, >= 8).
+          The write barrier records old-to-young stores per card, and the
+          dirty scan visits only dirty cards of remembered segments.  A
+          value >= [segment_words] degenerates to one card per segment,
+          i.e. the segment-granular remembered set. *)
   max_heap_words : int;
       (** Hard ceiling on allocated words across all segments;
           {!Heap.Out_of_memory} is raised once it would be exceeded
@@ -39,6 +45,7 @@ let default =
     collect_radix = 4;
     promote = default_promote;
     generation_friendly_guardians = true;
+    card_words = 512;
     max_heap_words = max_int;
   }
 
@@ -46,10 +53,17 @@ let v ?(segment_words = default.segment_words)
     ?(max_generation = default.max_generation)
     ?(gen0_trigger_words = default.gen0_trigger_words)
     ?(collect_radix = default.collect_radix) ?(promote = default_promote)
-    ?(generation_friendly_guardians = true) ?(max_heap_words = max_int) () =
+    ?(generation_friendly_guardians = true) ?(card_words = default.card_words)
+    ?(max_heap_words = max_int) () =
   if segment_words < 8 then invalid_arg "Config.v: segment_words too small";
   if max_generation < 0 then invalid_arg "Config.v: negative max_generation";
+  if max_generation > 254 then
+    (* Card bytes store generations; 255 is reserved for "clean". *)
+    invalid_arg "Config.v: max_generation must be <= 254";
   if collect_radix < 2 then invalid_arg "Config.v: collect_radix must be >= 2";
+  if card_words < 8 then invalid_arg "Config.v: card_words too small";
+  if card_words land (card_words - 1) <> 0 then
+    invalid_arg "Config.v: card_words must be a power of two";
   if max_heap_words < segment_words then invalid_arg "Config.v: max_heap_words too small";
   {
     segment_words;
@@ -58,5 +72,6 @@ let v ?(segment_words = default.segment_words)
     collect_radix;
     promote;
     generation_friendly_guardians;
+    card_words;
     max_heap_words;
   }

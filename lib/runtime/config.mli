@@ -20,6 +20,10 @@ type t = {
       (** The paper's design: protected-list entries are promoted to the
           target generation along with their objects.  [false] keeps every
           entry on generation 0's list — the D1 ablation. *)
+  card_words : int;
+      (** Card size of the remembered set, in words (power of two, >= 8;
+          default 512).  A value >= [segment_words] degenerates to one
+          card per segment. *)
   max_heap_words : int;
       (** Hard ceiling on allocated words; {!Heap.Out_of_memory} once it
           would be exceeded (default: effectively unlimited). *)
@@ -37,6 +41,7 @@ val v :
   ?collect_radix:int ->
   ?promote:(gen:int -> max_generation:int -> int) ->
   ?generation_friendly_guardians:bool ->
+  ?card_words:int ->
   ?max_heap_words:int ->
   unit ->
   t

@@ -43,6 +43,16 @@ type seg_info = {
   mutable on_dirty_list : bool;
   mutable large : bool;  (** oversized single-object segment *)
   mutable mark_epoch : int;  (** dedup marker for segment-list compaction *)
+  mutable cards : Bytes.t;
+      (** byte-per-card remembered set: card [c] holds the youngest
+          generation any slot in card [c] may reference, or {!card_clean}
+          (255) when no slot references a younger generation.  Invariant:
+          [min_ref_gen = min generation (min over card bytes)]. *)
+  mutable crossing : int array;
+      (** card crossing map: [crossing.(c)] is the offset of the object
+          covering the first word of card [c], so a card of a typed-space
+          segment can be scanned from an object header.  Maintained by
+          {!bump} for every allocation. *)
 }
 
 type cursor = { mutable seg : int }  (** -1 when no current segment *)
@@ -63,6 +73,7 @@ type t = {
   config : Config.t;
   stats : Stats.t;
   telemetry : Telemetry.t;
+  card_shift : int;  (** log2 of the effective card size in words *)
   mutable segs : int array array;
   mutable infos : seg_info array;
   mutable nsegs : int;
@@ -75,6 +86,10 @@ type t = {
   gc_ephemerons : Vec.Int.t;
       (** key-slot addresses of ephemerons discovered but not yet resolved
           during the current GC *)
+  gc_forward_log : Vec.Int.t;
+      (** from-space addresses of objects forwarded while
+          [gc_log_forwards] — the guardian fixpoint's worklist feed *)
+  mutable gc_log_forwards : bool;
   dirty : Vec.Int.t;  (** seg ids with [min_ref_gen < generation] *)
   mutable epoch_counter : int;
   protected : protected array;  (** per generation *)
@@ -107,13 +122,29 @@ let fresh_info () =
     on_dirty_list = false;
     large = false;
     mark_epoch = 0;
+    cards = Bytes.empty;
+    crossing = [||];
   }
+
+(* A card byte of 255 means "clean"; Config.v keeps max_generation <= 254
+   so every real generation fits below it. *)
+let card_clean = 255
+
+(* Effective card size: the next power of two >= card_words, capped at the
+   segment stride so a card never exceeds the largest segment. *)
+let card_shift_of_words words =
+  let s = ref 3 in
+  while !s < stride_bits && 1 lsl !s < words do
+    incr s
+  done;
+  !s
 
 let create ?(config = Config.default) () =
   {
     config;
     stats = Stats.create ();
     telemetry = Telemetry.create ();
+    card_shift = card_shift_of_words config.card_words;
     segs = Array.make 16 [||];
     infos = Array.init 16 (fun _ -> fresh_info ());
     nsegs = 0;
@@ -124,6 +155,8 @@ let create ?(config = Config.default) () =
     gen_segs = Array.init (config.max_generation + 1) (fun _ -> Vec.Int.create ());
     gc_new_segs = Vec.Int.create ();
     gc_ephemerons = Vec.Int.create ();
+    gc_forward_log = Vec.Int.create ();
+    gc_log_forwards = false;
     dirty = Vec.Int.create ();
     epoch_counter = 0;
     protected =
@@ -155,6 +188,11 @@ let stats t = t.stats
 let telemetry t = t.telemetry
 let gc_epoch t = t.gc_epoch
 let max_generation t = t.config.max_generation
+let card_shift t = t.card_shift
+let card_words t = 1 lsl t.card_shift
+
+(* Number of cards covering [words] words of a segment. *)
+let cards_for t words = if words <= 0 then 0 else ((words - 1) lsr t.card_shift) + 1
 
 (* ------------------------------------------------------------------ *)
 (* Store access                                                        *)
@@ -245,6 +283,10 @@ let acquire_segment t ~space ~generation ~min_words =
   si.scan <- 0;
   si.on_dirty_list <- false;
   si.large <- min_words > std;
+  let ncards = cards_for t si.size in
+  if Bytes.length si.cards < ncards then si.cards <- Bytes.make ncards '\xff'
+  else Bytes.fill si.cards 0 ncards '\xff';
+  if Array.length si.crossing < ncards then si.crossing <- Array.make ncards 0;
   t.segment_words_live <- t.segment_words_live + si.size;
   Vec.Int.push t.gen_segs.(generation) seg;
   if t.in_collection then Vec.Int.push t.gc_new_segs seg;
@@ -263,6 +305,8 @@ let release_segment t seg =
     t.segs.(seg) <- [||];
     si.large <- false;
     si.size <- 0;
+    si.cards <- Bytes.empty;
+    si.crossing <- [||];
     t.free_ids <- seg :: t.free_ids
   end
   else t.free_std <- seg :: t.free_std
@@ -270,22 +314,28 @@ let release_segment t seg =
 (** Live segments currently assigned to [generation].  The per-generation
     lists may contain stale ids (segments freed or re-assigned) and
     duplicates (segments re-acquired for the same generation); both are
-    filtered out and compacted here, keeping enumeration proportional to the
-    size of the generation, not of the heap. *)
+    filtered out by compacting the list in place — no allocation — and the
+    compacted list itself is returned, keeping enumeration proportional to
+    the size of the generation, not of the heap.  The result aliases the
+    heap's own list: it is valid until the next allocation into
+    [generation] appends to it. *)
 let live_segments_of_gen t generation =
   t.epoch_counter <- t.epoch_counter + 1;
   let epoch = t.epoch_counter in
   let v = t.gen_segs.(generation) in
-  let out = Vec.Int.create ~capacity:(Vec.Int.length v) () in
-  Vec.Int.iter v ~f:(fun seg ->
-      let si = t.infos.(seg) in
-      if si.live && si.generation = generation && si.mark_epoch <> epoch then begin
-        si.mark_epoch <- epoch;
-        Vec.Int.push out seg
-      end);
-  Vec.Int.clear v;
-  Vec.Int.iter out ~f:(fun seg -> Vec.Int.push v seg);
-  out
+  let n = Vec.Int.length v in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    let seg = Vec.Int.get v i in
+    let si = t.infos.(seg) in
+    if si.live && si.generation = generation && si.mark_epoch <> epoch then begin
+      si.mark_epoch <- epoch;
+      Vec.Int.set v !w seg;
+      incr w
+    end
+  done;
+  Vec.Int.truncate v !w;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Allocation                                                          *)
@@ -316,6 +366,15 @@ let bump t ~cursors ~space ~generation nwords =
   let si = t.infos.(seg) in
   let off = si.used in
   si.used <- si.used + nwords;
+  (* Crossing map: every card whose first word falls inside this object
+     starts mid-object; record the object's offset so a card scan can find
+     the covering header.  The loop body runs only when the allocation
+     crosses a card boundary, so it is O(1) amortized. *)
+  let first_c = (off + (1 lsl t.card_shift) - 1) lsr t.card_shift in
+  let last_c = (off + nwords - 1) lsr t.card_shift in
+  for c = first_c to last_c do
+    si.crossing.(c) <- off
+  done;
   addr_of ~seg ~off
 
 (** Mutator allocation: raw words in generation 0.  The caller initializes
@@ -334,22 +393,72 @@ let gc_alloc t ~space ~generation nwords =
 let reset_cursors cursors = Array.iter (fun c -> c.seg <- -1) cursors
 
 (* ------------------------------------------------------------------ *)
-(* Remembered set (dirty segments)                                     *)
+(* Remembered set (card-marked dirty segments)                         *)
 
-(** Record that [value] was stored into the object at [addr].  If this
-    creates an old-to-young pointer, remember the segment. *)
+(* Lower the card byte covering [addr] to [gen] and remember the segment.
+   [gen < si.generation] must already hold. *)
+let mark_card t si ~addr ~gen =
+  let c = off_of_addr addr lsr t.card_shift in
+  let cur = Bytes.get_uint8 si.cards c in
+  let g = if gen > card_clean - 1 then card_clean - 1 else gen in
+  if g < cur then begin
+    if cur = card_clean then t.stats.cards_dirtied <- t.stats.cards_dirtied + 1;
+    Bytes.set_uint8 si.cards c g
+  end;
+  if gen < si.min_ref_gen then si.min_ref_gen <- gen;
+  if not si.on_dirty_list then begin
+    si.on_dirty_list <- true;
+    Vec.Int.push t.dirty (seg_of_addr addr)
+  end
+
+(** Record (collector-side) that the slot at [addr] references generation
+    [gen]: marks the covering card and keeps the segment summary in sync.
+    The slot's own write must be done by the caller. *)
+let note_ref t ~addr ~gen =
+  let si = t.infos.(seg_of_addr addr) in
+  if gen < si.generation then mark_card t si ~addr ~gen
+
+(** Record that [value] was stored into the object at [addr] — the mutator
+    write barrier.  Cheap on the fast paths: non-pointer stores and stores
+    into generation-0 segments exit after one or two compares; only an
+    old-to-young store (a "hit") touches the card table. *)
 let note_mutation t ~addr ~value =
+  let st = t.stats in
+  st.barrier_calls <- st.barrier_calls + 1;
   if Word.is_pointer value then begin
     let si = t.infos.(seg_of_addr addr) in
-    let vgen = (t.infos.(seg_of_addr (Word.addr value))).generation in
-    if vgen < si.min_ref_gen then begin
-      si.min_ref_gen <- vgen;
-      if not si.on_dirty_list then begin
-        si.on_dirty_list <- true;
-        Vec.Int.push t.dirty (seg_of_addr addr)
+    if si.generation > 0 then begin
+      let vgen = (t.infos.(seg_of_addr (Word.addr value))).generation in
+      if vgen < si.generation then begin
+        st.barrier_hits <- st.barrier_hits + 1;
+        mark_card t si ~addr ~gen:vgen
       end
     end
   end
+
+(** Recompute [min_ref_gen] from the card bytes (the cards are ground
+    truth after a card-granular scan) and re-remember the segment if some
+    card still reaches into a younger generation. *)
+let refresh_remembered t seg =
+  let si = t.infos.(seg) in
+  let m = ref si.generation in
+  let ncards = cards_for t si.used in
+  for c = 0 to ncards - 1 do
+    let b = Bytes.get_uint8 si.cards c in
+    if b < !m then m := b
+  done;
+  si.min_ref_gen <- !m;
+  if si.min_ref_gen < si.generation && not si.on_dirty_list then begin
+    si.on_dirty_list <- true;
+    Vec.Int.push t.dirty seg
+  end
+
+(** {2 Card introspection} (tests, {!Verify}) *)
+
+let card_min_gen t ~seg ~card = Bytes.get_uint8 (t.infos.(seg)).cards card
+let card_of_off t off = off lsr t.card_shift
+let cards_in_use t seg = cards_for t (t.infos.(seg)).used
+let card_object_start t ~seg ~card = (t.infos.(seg)).crossing.(card)
 
 (* ------------------------------------------------------------------ *)
 (* Roots                                                               *)

@@ -36,6 +36,14 @@ type seg_info = {
   mutable on_dirty_list : bool;
   mutable large : bool;  (** oversized single-object segment *)
   mutable mark_epoch : int;
+  mutable cards : Bytes.t;
+      (** byte-per-card remembered set: card [c] holds the youngest
+          generation any slot in card [c] may reference, or {!card_clean}
+          when clean.  Invariant:
+          [min_ref_gen = min generation (min over card bytes)]. *)
+  mutable crossing : int array;
+      (** card crossing map: offset of the object covering each card's
+          first word (maintained by the allocator). *)
 }
 
 type cursor = { mutable seg : int }
@@ -55,6 +63,7 @@ type t = {
   config : Config.t;
   stats : Stats.t;
   telemetry : Telemetry.t;
+  card_shift : int;  (** log2 of the effective card size in words *)
   mutable segs : int array array;
   mutable infos : seg_info array;
   mutable nsegs : int;
@@ -67,6 +76,10 @@ type t = {
   gc_ephemerons : Vec.Int.t;
       (** key-slot addresses of ephemerons discovered but not yet resolved
           during the current GC *)
+  gc_forward_log : Vec.Int.t;
+      (** from-space addresses of objects forwarded while
+          [gc_log_forwards] — the guardian fixpoint's worklist feed *)
+  mutable gc_log_forwards : bool;
   dirty : Vec.Int.t;
   mutable epoch_counter : int;
   protected : protected array;  (** per generation *)
@@ -121,8 +134,10 @@ val acquire_segment : t -> space:Space.t -> generation:int -> min_words:int -> i
 val release_segment : t -> int -> unit
 
 val live_segments_of_gen : t -> int -> Vec.Int.t
-(** Live segments of a generation, deduplicated and compacted; cost is
-    proportional to the generation, not the heap. *)
+(** Live segments of a generation, deduplicated and compacted in place
+    (no allocation); cost is proportional to the generation, not the
+    heap.  The result aliases the heap's own per-generation list and is
+    valid until the next allocation into that generation. *)
 
 (** {1 Allocation} *)
 
@@ -136,12 +151,44 @@ val gc_alloc : t -> space:Space.t -> generation:int -> int -> int
 
 val reset_cursors : cursor array -> unit
 
-(** {1 Remembered set} *)
+(** {1 Remembered set (card marking)} *)
 
 val note_mutation : t -> addr:int -> value:Word.t -> unit
-(** Record that [value] was stored at [addr]; remembers the segment if this
-    creates an old-to-young pointer.  Called by every pointer-field mutator
-    in {!Obj}. *)
+(** The mutator write barrier: record that [value] was stored at [addr].
+    An old-to-young store marks the card covering [addr] and remembers
+    the segment; everything else falls out after one or two compares.
+    Called by every pointer-field mutator in {!Obj}. *)
+
+val note_ref : t -> addr:int -> gen:int -> unit
+(** Collector-side barrier: record that the slot at [addr] references
+    generation [gen], marking the covering card and keeping the segment
+    summary in sync.  The slot's own write is the caller's. *)
+
+val refresh_remembered : t -> int -> unit
+(** Recompute a segment's [min_ref_gen] from its card bytes and put it
+    back on the dirty list if some card still reaches into a younger
+    generation.  Used after a card-granular scan. *)
+
+val card_clean : int
+(** The card byte meaning "no younger-generation references" (255). *)
+
+val card_shift : t -> int
+val card_words : t -> int
+(** Effective card size in words: the next power of two >=
+    [Config.card_words], capped at {!max_segment_words}. *)
+
+val card_of_off : t -> int -> int
+(** Card index covering a word offset. *)
+
+val cards_in_use : t -> int -> int
+(** Number of cards covering a segment's used words. *)
+
+val card_min_gen : t -> seg:int -> card:int -> int
+(** The card byte: youngest generation the card may reference, or
+    {!card_clean}. *)
+
+val card_object_start : t -> seg:int -> card:int -> int
+(** Offset of the object covering the card's first word (crossing map). *)
 
 (** {1 Roots} *)
 

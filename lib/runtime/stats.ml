@@ -13,6 +13,18 @@ type counters = {
   mutable words_swept : int;  (** words examined during Cheney scans *)
   mutable root_words : int;
   mutable dirty_segments_scanned : int;
+  mutable cards_scanned : int;
+      (** dirty cards visited by the card-granular dirty scan *)
+  mutable card_words_swept : int;
+      (** words examined inside dirty cards — the actual dirty-scan work *)
+  mutable dirty_candidate_words : int;
+      (** used words of the dirty segments scanned — what a
+          segment-granular scan would have examined; the
+          [card_words_swept / dirty_candidate_words] ratio is the card
+          table's win *)
+  mutable guardian_pend_checks : int;
+      (** tconc accessibility checks performed by the guardian fixpoint;
+          O(1) amortized per pend-final entry with the worklist *)
   mutable protected_entries_visited : int;
       (** entries of protected lists of the collected generations — the
           guardian-specific collector overhead claimed to be proportional
@@ -37,6 +49,10 @@ let zero () =
     words_swept = 0;
     root_words = 0;
     dirty_segments_scanned = 0;
+    cards_scanned = 0;
+    card_words_swept = 0;
+    dirty_candidate_words = 0;
+    guardian_pend_checks = 0;
     protected_entries_visited = 0;
     guardian_resurrections = 0;
     guardian_entries_promoted = 0;
@@ -61,6 +77,12 @@ type t = {
   mutable registrations : int;
   mutable tconc_enqueues : int;  (** cells appended (collector and mutator) *)
   mutable tconc_dequeues : int;  (** mutator removals that yielded an element *)
+  (* Write-barrier counters live on the session, not on [last]: they count
+     mutator activity between collections, which [begin_collection] would
+     otherwise zero. *)
+  mutable barrier_calls : int;  (** {!Heap.note_mutation} invocations *)
+  mutable barrier_hits : int;  (** calls that stored an old-to-young pointer *)
+  mutable cards_dirtied : int;  (** cards taken from clean to dirty *)
 }
 
 let create () =
@@ -74,6 +96,9 @@ let create () =
     registrations = 0;
     tconc_enqueues = 0;
     tconc_dequeues = 0;
+    barrier_calls = 0;
+    barrier_hits = 0;
+    cards_dirtied = 0;
   }
 
 let begin_collection t =
@@ -84,6 +109,10 @@ let begin_collection t =
   l.words_swept <- 0;
   l.root_words <- 0;
   l.dirty_segments_scanned <- 0;
+  l.cards_scanned <- 0;
+  l.card_words_swept <- 0;
+  l.dirty_candidate_words <- 0;
+  l.guardian_pend_checks <- 0;
   l.protected_entries_visited <- 0;
   l.guardian_resurrections <- 0;
   l.guardian_entries_promoted <- 0;
@@ -103,6 +132,10 @@ let end_collection t =
   g.words_swept <- g.words_swept + l.words_swept;
   g.root_words <- g.root_words + l.root_words;
   g.dirty_segments_scanned <- g.dirty_segments_scanned + l.dirty_segments_scanned;
+  g.cards_scanned <- g.cards_scanned + l.cards_scanned;
+  g.card_words_swept <- g.card_words_swept + l.card_words_swept;
+  g.dirty_candidate_words <- g.dirty_candidate_words + l.dirty_candidate_words;
+  g.guardian_pend_checks <- g.guardian_pend_checks + l.guardian_pend_checks;
   g.protected_entries_visited <-
     g.protected_entries_visited + l.protected_entries_visited;
   g.guardian_resurrections <- g.guardian_resurrections + l.guardian_resurrections;
@@ -120,12 +153,14 @@ let end_collection t =
 let pp_counters ppf c =
   Format.fprintf ppf
     "@[<v>collections %d@ objects copied %d@ words copied %d@ words swept %d@ \
-     root words %d@ dirty segments %d@ protected entries visited %d@ \
-     resurrections %d@ entries promoted %d@ entries dropped %d@ weak pairs \
-     scanned %d@ weak pointers broken %d@ ephemerons scanned %d@ ephemerons \
-     broken %d@ segments freed %d@ segments allocated %d@]"
+     root words %d@ dirty segments %d@ cards scanned %d@ card words swept %d@ \
+     dirty candidate words %d@ guardian pend checks %d@ protected entries \
+     visited %d@ resurrections %d@ entries promoted %d@ entries dropped %d@ \
+     weak pairs scanned %d@ weak pointers broken %d@ ephemerons scanned %d@ \
+     ephemerons broken %d@ segments freed %d@ segments allocated %d@]"
     c.collections c.objects_copied c.words_copied c.words_swept c.root_words
-    c.dirty_segments_scanned c.protected_entries_visited
+    c.dirty_segments_scanned c.cards_scanned c.card_words_swept
+    c.dirty_candidate_words c.guardian_pend_checks c.protected_entries_visited
     c.guardian_resurrections c.guardian_entries_promoted
     c.guardian_entries_dropped c.weak_pairs_scanned c.weak_pointers_broken
     c.ephemerons_scanned c.ephemerons_broken c.segments_freed

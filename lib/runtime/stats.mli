@@ -12,6 +12,15 @@ type counters = {
   mutable words_swept : int;  (** words examined during Cheney scans *)
   mutable root_words : int;
   mutable dirty_segments_scanned : int;
+  mutable cards_scanned : int;
+      (** dirty cards visited by the card-granular dirty scan *)
+  mutable card_words_swept : int;
+      (** words examined inside dirty cards — the actual dirty-scan work *)
+  mutable dirty_candidate_words : int;
+      (** used words of the dirty segments scanned — what a
+          segment-granular scan would have examined *)
+  mutable guardian_pend_checks : int;
+      (** tconc accessibility checks performed by the guardian fixpoint *)
   mutable protected_entries_visited : int;
       (** entries of protected lists of the collected generations — the
           guardian-specific collector overhead *)
@@ -42,6 +51,11 @@ type t = {
   mutable registrations : int;
   mutable tconc_enqueues : int;  (** cells appended (collector and mutator) *)
   mutable tconc_dequeues : int;  (** mutator removals that yielded an element *)
+  mutable barrier_calls : int;
+      (** {!Heap.note_mutation} invocations; session-level because they
+          count mutator activity between collections *)
+  mutable barrier_hits : int;  (** calls that stored an old-to-young pointer *)
+  mutable cards_dirtied : int;  (** cards taken from clean to dirty *)
 }
 
 val create : unit -> t

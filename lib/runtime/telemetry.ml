@@ -78,6 +78,10 @@ type event =
       duration_ns : float;
       counters : Stats.counters;
       live_words : int;
+      barrier_calls : int;
+          (** lifetime write-barrier invocations (session counter) *)
+      barrier_hits : int;  (** lifetime old-to-young stores *)
+      cards_dirtied : int;  (** lifetime clean-to-dirty card transitions *)
     }
 
 type sink = event -> unit
@@ -252,7 +256,8 @@ let phase_end t phase ~work =
       (Phase_end { ordinal = t.cur_ordinal; phase; at_ns = now; duration_ns; work })
   end
 
-let collection_end t ~counters ~live_words =
+let collection_end t ~counters ~live_words ?(barrier_calls = 0)
+    ?(barrier_hits = 0) ?(cards_dirtied = 0) () =
   if t.on then begin
     let now = Unix_time.now_ns () in
     let duration_ns = Float.max 0. (now -. t.cur_begin_ns) in
@@ -268,6 +273,9 @@ let collection_end t ~counters ~live_words =
            duration_ns;
            counters;
            live_words;
+           barrier_calls;
+           barrier_hits;
+           cards_dirtied;
          })
   end
 
@@ -444,8 +452,18 @@ end
 module Log = struct
   let attach tel ppf =
     add_sink tel (function
-      | Collection_end { ordinal; generation; target; duration_ns; counters; live_words; _ }
-        ->
+      | Collection_end
+          {
+            ordinal;
+            generation;
+            target;
+            duration_ns;
+            counters;
+            live_words;
+            barrier_calls;
+            barrier_hits;
+            _;
+          } ->
           Format.fprintf ppf "[gc #%d] gen %d->%d %.1fus |" ordinal generation
             target (duration_ns /. 1e3);
           List.iter
@@ -454,7 +472,13 @@ module Log = struct
                 (phase_ns_last tel ph /. 1e3)
                 (phase_work_last tel ph))
             all_phases;
-          Format.fprintf ppf " | copied %dw/%do resurrected %d live %dw@."
+          Format.fprintf ppf
+            " | cards %d/%dsegs barrier %d/%d (%.1f%%) | copied %dw/%do \
+             resurrected %d live %dw@."
+            counters.Stats.cards_scanned counters.Stats.dirty_segments_scanned
+            barrier_hits barrier_calls
+            (100.0 *. float_of_int barrier_hits
+            /. float_of_int (max 1 barrier_calls))
             counters.Stats.words_copied counters.Stats.objects_copied
             counters.Stats.guardian_resurrections live_words
       | _ -> ())
@@ -536,6 +560,9 @@ module Chrome = struct
               ( "resurrections",
                 string_of_int counters.Stats.guardian_resurrections );
               ("weak_broken", string_of_int counters.Stats.weak_pointers_broken);
+              ("cards_scanned", string_of_int counters.Stats.cards_scanned);
+              ( "card_words_swept",
+                string_of_int counters.Stats.card_words_swept );
               ("live_words", string_of_int live_words);
             ]
     in

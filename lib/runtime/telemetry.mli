@@ -60,6 +60,10 @@ type event =
       duration_ns : float;
       counters : Stats.counters;  (** snapshot of the collection's counters *)
       live_words : int;
+      barrier_calls : int;
+          (** lifetime write-barrier invocations (session counter) *)
+      barrier_hits : int;  (** lifetime old-to-young stores *)
+      cards_dirtied : int;  (** lifetime clean-to-dirty card transitions *)
     }
 
 type sink = event -> unit
@@ -121,9 +125,18 @@ val collection_begin : t -> ordinal:int -> generation:int -> target:int -> unit
 val phase_begin : t -> phase -> unit
 val phase_end : t -> phase -> work:int -> unit
 
-val collection_end : t -> counters:Stats.counters -> live_words:int -> unit
+val collection_end :
+  t ->
+  counters:Stats.counters ->
+  live_words:int ->
+  ?barrier_calls:int ->
+  ?barrier_hits:int ->
+  ?cards_dirtied:int ->
+  unit ->
+  unit
 (** [counters] must be a private snapshot (see {!Stats.copy}): sinks may
-    retain it. *)
+    retain it.  The barrier arguments are the session-lifetime
+    write-barrier counters at the end of this collection (default 0). *)
 
 (** {2 Accumulated results} *)
 

@@ -12,7 +12,8 @@
     - spaces: weak pairs live only in weak space; headers only in
       typed/data space;
     - remembered set: a pointer from an older into a younger generation is
-      covered by the segment's [min_ref_gen];
+      covered by the segment's [min_ref_gen] AND by the byte of the card
+      holding the pointer slot (card-granular precision);
     - protected lists: entries of generation [i]'s list reference objects
       and tconcs in generations [>= i] (or immediates). *)
 
@@ -55,7 +56,7 @@ let verify h =
         s
   in
   let max_gen = Heap.max_generation h in
-  let check_pointer ~from_seg ~slot w =
+  let check_pointer ~from_seg ~from_off ~slot w =
     if Word.is_pointer w then begin
       let addr = Word.addr w in
       let seg = Heap.seg_of_addr addr in
@@ -78,14 +79,20 @@ let verify h =
           | false, _ -> errf errors "typed pointer into pair space" "%s" slot);
           if Word.equal (Heap.load h addr) Word.forward_marker then
             errf errors "pointer at forwarding marker outside collection" "%s" slot;
-          (* Remembered-set invariant. *)
+          (* Remembered-set invariant, at both granularities. *)
           let fi = Heap.info h from_seg in
-          if ti.Heap.generation < fi.Heap.generation
-             && ti.Heap.generation < fi.Heap.min_ref_gen
-          then
-            errf errors "old-to-young pointer not remembered"
-              "%s: seg %d gen %d min_ref %d -> gen %d" slot from_seg fi.Heap.generation
-              fi.Heap.min_ref_gen ti.Heap.generation
+          if ti.Heap.generation < fi.Heap.generation then begin
+            if ti.Heap.generation < fi.Heap.min_ref_gen then
+              errf errors "old-to-young pointer not remembered"
+                "%s: seg %d gen %d min_ref %d -> gen %d" slot from_seg fi.Heap.generation
+                fi.Heap.min_ref_gen ti.Heap.generation;
+            let card = Heap.card_of_off h from_off in
+            let cg = Heap.card_min_gen h ~seg:from_seg ~card in
+            if ti.Heap.generation < cg then
+              errf errors "old-to-young pointer's card not marked"
+                "%s: seg %d card %d byte %d -> gen %d" slot from_seg card cg
+                ti.Heap.generation
+          end
         end
       end
     end
@@ -109,9 +116,11 @@ let verify h =
             let addr = Heap.addr_of ~seg ~off:!off in
             (* The car of a weak pair is weak but must still be a valid
                word; broken cars are #f. *)
-            check_pointer ~from_seg:seg ~slot:(Printf.sprintf "seg %d off %d car" seg !off)
+            check_pointer ~from_seg:seg ~from_off:!off
+              ~slot:(Printf.sprintf "seg %d off %d car" seg !off)
               (Heap.load h addr);
-            check_pointer ~from_seg:seg ~slot:(Printf.sprintf "seg %d off %d cdr" seg !off)
+            check_pointer ~from_seg:seg ~from_off:(!off + 1)
+              ~slot:(Printf.sprintf "seg %d off %d cdr" seg !off)
               (Heap.load h (addr + 1));
             off := !off + 2
           done
@@ -135,7 +144,7 @@ let verify h =
                   errf errors "unknown type code" "seg %d off %d code %d" seg !off code;
                 (if si.Heap.space = Space.Typed && code <> Obj.code_pad then
                    for i = 1 to len do
-                     check_pointer ~from_seg:seg
+                     check_pointer ~from_seg:seg ~from_off:(!off + i)
                        ~slot:(Printf.sprintf "seg %d off %d field %d" seg !off (i - 1))
                        (Heap.load h (addr + i))
                    done);

@@ -301,9 +301,22 @@ let install (m : Machine.t) =
           !lst);
   p "gc-phase-stats" ~min:0 (fun m _ ->
       (* One vector per collector phase, in phase order:
-         #(name total-ns last-ns total-work last-work), ns as flonums. *)
+         #(name total-ns last-ns total-work last-work), ns as flonums,
+         followed by a remembered-set summary row:
+         #(remembered-set cards-scanned dirty-segments barrier-calls
+           barrier-hits cards-dirtied). *)
       let tel = Heap.telemetry h in
       let lst = ref Word.nil in
+      let s = Heap.stats h in
+      let rs = Obj.make_vector h ~len:6 ~init:(Word.of_fixnum 0) in
+      Obj.vector_set h rs 0 (Symtab.intern (Machine.symtab m) "remembered-set");
+      Obj.vector_set h rs 1 (Word.of_fixnum s.Stats.total.Stats.cards_scanned);
+      Obj.vector_set h rs 2
+        (Word.of_fixnum s.Stats.total.Stats.dirty_segments_scanned);
+      Obj.vector_set h rs 3 (Word.of_fixnum s.Stats.barrier_calls);
+      Obj.vector_set h rs 4 (Word.of_fixnum s.Stats.barrier_hits);
+      Obj.vector_set h rs 5 (Word.of_fixnum s.Stats.cards_dirtied);
+      lst := Obj.cons h rs !lst;
       List.iter
         (fun ph ->
           let v = Obj.make_vector h ~len:5 ~init:(Word.of_fixnum 0) in
