@@ -805,6 +805,9 @@ let () =
   let filter = ref "" in
   let rec parse = function
     | [] -> ()
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
     | "--json-out" :: path :: rest when String.length path > 0 ->
         json_out := path;
         parse rest

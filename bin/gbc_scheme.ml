@@ -88,6 +88,14 @@ type options = {
 let parse_args argv =
   let rec go opts = function
     | [] -> { opts with inputs = List.rev opts.inputs }
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        print_endline "  --gc-stats        print collector statistics at the end";
+        print_endline "  --gc-log          log each collection to stderr";
+        print_endline "  --trace-out FILE  write a Chrome trace_event JSON of GC phases";
+        print_endline "  -e EXPR           evaluate an expression and print it";
+        print_endline "  With no inputs, starts the interactive REPL.";
+        exit 0
     | "--gc-stats" :: rest -> go { opts with gc_stats = true } rest
     | "--gc-log" :: rest -> go { opts with gc_log = true } rest
     | "--trace-out" :: path :: rest when String.length path > 0 ->

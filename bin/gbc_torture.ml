@@ -1,0 +1,137 @@
+(* Deterministic GC torture harness driver.
+
+   Usage:
+     gbc_torture                         one seed (0), 5000 ops
+     gbc_torture --seed 7 --seed 8       several seeds, in order
+     gbc_torture --seeds 0..99           a seed range (inclusive)
+     gbc_torture --ops 20000             op budget per seed
+     gbc_torture --faults                arm segment-allocation faults
+     gbc_torture --inject-bug            seeded forward-corruption bug;
+                                         exit 0 iff it is DETECTED
+     gbc_torture --json-out FILE         write the gbc-torture/1 report
+     gbc_torture --quiet                 per-seed lines only on failure
+
+   Same seed + same flags => bit-for-bit identical output and report. *)
+
+open Gbc_torture
+
+let usage =
+  "usage: gbc_torture [--seed N]... [--seeds A..B] [--ops N] [--faults] \
+   [--inject-bug] [--json-out FILE] [--quiet]"
+
+let parse_range s =
+  match String.index_opt s '.' with
+  | Some i
+    when i + 1 < String.length s
+         && s.[i + 1] = '.'
+         && i > 0 ->
+      let a = int_of_string_opt (String.sub s 0 i) in
+      let b = int_of_string_opt (String.sub s (i + 2) (String.length s - i - 2)) in
+      (match (a, b) with Some a, Some b when a <= b -> Some (a, b) | _ -> None)
+  | _ -> None
+
+let () =
+  let seeds = ref [] in
+  let ops = ref Torture.default_opts.Torture.ops in
+  let faults = ref false in
+  let inject_bug = ref false in
+  let json_out = ref None in
+  let quiet = ref false in
+  let bad fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "gbc_torture: %s\n" msg;
+        prerr_endline usage;
+        exit 2)
+      fmt
+  in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ -> bad "%s expects a non-negative integer, got %s" name v
+  in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        print_endline "";
+        print_endline
+          "Runs seeded random programs against the runtime, checking Verify\n\
+           invariants and differentially comparing against the semispace\n\
+           oracle after every collection.  Exit 0 when every seed is clean\n\
+           (with --inject-bug: when every seed detects the seeded bug);\n\
+           exit 1 on a failure, after shrinking the failing trace.";
+        exit 0
+    | "--seed" :: v :: rest ->
+        seeds := int_arg "--seed" v :: !seeds;
+        parse rest
+    | [ "--seed" ] -> bad "--seed requires an argument"
+    | "--seeds" :: v :: rest -> (
+        match parse_range v with
+        | Some (a, b) ->
+            for s = b downto a do
+              seeds := s :: !seeds
+            done;
+            parse rest
+        | None -> bad "--seeds expects a range A..B, got %s" v)
+    | [ "--seeds" ] -> bad "--seeds requires an argument"
+    | "--ops" :: v :: rest ->
+        ops := int_arg "--ops" v;
+        parse rest
+    | [ "--ops" ] -> bad "--ops requires an argument"
+    | "--faults" :: rest ->
+        faults := true;
+        parse rest
+    | "--inject-bug" :: rest ->
+        inject_bug := true;
+        parse rest
+    | "--json-out" :: path :: rest when String.length path > 0 ->
+        json_out := Some path;
+        parse rest
+    | [ "--json-out" ] -> bad "--json-out requires a path argument"
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | arg :: _ -> bad "unknown option %s" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seeds = match List.rev !seeds with [] -> [ 0 ] | l -> l in
+  let opts =
+    { Torture.ops = !ops; faults = !faults; inject_bug = !inject_bug }
+  in
+  let reports = List.map (fun seed -> Torture.run_seed ~seed ~opts) seeds in
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Torture.json_of_reports reports);
+      close_out oc);
+  (* With the seeded bug, detection is the passing outcome. *)
+  let ok r = if !inject_bug then r.Torture.failure <> None else r.Torture.failure = None in
+  let failed = List.filter (fun r -> not (ok r)) reports in
+  List.iter
+    (fun r ->
+      match r.Torture.failure with
+      | None ->
+          if not !quiet then
+            Printf.printf "seed %d: ok (%d ops, %d collections, %d comparisons)\n"
+              r.Torture.seed
+              (List.fold_left (fun a e -> a + e.Torture.ops_run) 0 r.Torture.episodes)
+              (List.fold_left (fun a e -> a + e.Torture.collections) 0 r.Torture.episodes)
+              (List.fold_left (fun a e -> a + e.Torture.comparisons) 0 r.Torture.episodes)
+      | Some f ->
+          Printf.printf "seed %d: FAIL at op %d (episode %d, profile %s)\n"
+            r.Torture.seed f.Torture.op_index f.Torture.episode f.Torture.profile;
+          Printf.printf "  reason: %s\n" f.Torture.reason;
+          Printf.printf "  shrunk to %d ops:\n" f.Torture.shrunk_ops;
+          String.split_on_char '\n' f.Torture.shrunk_trace
+          |> List.iter (fun l -> if l <> "" then Printf.printf "    %s\n" l))
+    reports;
+  if !inject_bug then
+    List.iter
+      (fun r ->
+        if r.Torture.failure = None then
+          Printf.printf "seed %d: BUG NOT DETECTED (expected a failure)\n"
+            r.Torture.seed)
+      reports;
+  if failed <> [] then exit 1

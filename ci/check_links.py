@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Markdown link check, no network and no dependencies.
+
+Two kinds of reference are verified against the working tree:
+
+1. markdown links ``[text](target)`` — http(s)/mailto targets are
+   skipped, ``#anchors`` are stripped, and relative targets resolve
+   from the referencing file's directory;
+2. backtick-quoted repository paths like ``lib/runtime/verify.ml`` or
+   ``doc/TUNING.md`` — the references most prone to drifting when
+   modules are renamed.  Only tokens rooted at a known source
+   directory and carrying a source extension are checked, so command
+   lines, build artifacts and JSON output paths are not false
+   positives.
+
+Usage: check_links.py FILE.md...    (run from the repository root)
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH = re.compile(
+    r"`((?:lib|bin|test|bench|doc|examples|ci)/[A-Za-z0-9_./-]+\.(?:ml|mli|md|scm|py))`"
+)
+
+def main(files):
+    bad = []
+    for name in files:
+        f = Path(name)
+        text = f.read_text()
+        for m in LINK.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            if not (f.parent / path).exists():
+                bad.append(f"{name}: broken link ({target})")
+        for m in CODE_PATH.finditer(text):
+            if not Path(m.group(1)).exists():
+                bad.append(f"{name}: stale path reference `{m.group(1)}`")
+    if bad:
+        print("\n".join(bad))
+        sys.exit(1)
+    print(f"{len(files)} files checked, all links resolve")
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -93,6 +93,21 @@ let copy t ~target w =
           end
         in
         stats.objects_copied <- stats.objects_copied + 1;
+        (* Seeded debug bug (Config.corrupt_forward_period): corrupt every
+           nth forwarding address to an interior pointer.  The torture
+           harness must detect the damage via Verify or the oracle. *)
+        let new_word =
+          let f = t.faults in
+          if f.corrupt_forward_period = 0 then new_word
+          else begin
+            f.forwards_seen <- f.forwards_seen + 1;
+            if f.forwards_seen mod f.corrupt_forward_period = 0 then begin
+              f.injected <- f.injected + 1;
+              Word.with_addr new_word (Word.addr new_word + 1)
+            end
+            else new_word
+          end
+        in
         store t addr Word.forward_marker;
         store t (addr + 1) new_word;
         (* Guardian-fixpoint worklist feed: each object forwards once, so

@@ -33,6 +33,16 @@ type t = {
       (** Hard ceiling on allocated words across all segments;
           {!Heap.Out_of_memory} is raised once it would be exceeded
           (default: effectively unlimited). *)
+  fail_segment_alloc_at : int;
+      (** Fault injection (torture harness): the [n]th mutator segment
+          acquisition raises {!Heap.Out_of_memory}, once; 0 disables
+          (the default).  Collections are exempt.  The armed counter lives
+          in {!Heap.faults} and can be re-armed at runtime. *)
+  corrupt_forward_period : int;
+      (** Debug bug (torture harness): every [n]th forwarded pointer is
+          deliberately corrupted to an interior address, so {!Verify} and
+          the differential oracle must catch it; 0 disables (the
+          default). *)
 }
 
 let default_promote ~gen ~max_generation = min (gen + 1) max_generation
@@ -47,6 +57,8 @@ let default =
     generation_friendly_guardians = true;
     card_words = 512;
     max_heap_words = max_int;
+    fail_segment_alloc_at = 0;
+    corrupt_forward_period = 0;
   }
 
 let v ?(segment_words = default.segment_words)
@@ -54,7 +66,8 @@ let v ?(segment_words = default.segment_words)
     ?(gen0_trigger_words = default.gen0_trigger_words)
     ?(collect_radix = default.collect_radix) ?(promote = default_promote)
     ?(generation_friendly_guardians = true) ?(card_words = default.card_words)
-    ?(max_heap_words = max_int) () =
+    ?(max_heap_words = max_int) ?(fail_segment_alloc_at = 0)
+    ?(corrupt_forward_period = 0) () =
   if segment_words < 8 then invalid_arg "Config.v: segment_words too small";
   if max_generation < 0 then invalid_arg "Config.v: negative max_generation";
   if max_generation > 254 then
@@ -65,6 +78,10 @@ let v ?(segment_words = default.segment_words)
   if card_words land (card_words - 1) <> 0 then
     invalid_arg "Config.v: card_words must be a power of two";
   if max_heap_words < segment_words then invalid_arg "Config.v: max_heap_words too small";
+  if fail_segment_alloc_at < 0 then
+    invalid_arg "Config.v: fail_segment_alloc_at must be >= 0";
+  if corrupt_forward_period < 0 then
+    invalid_arg "Config.v: corrupt_forward_period must be >= 0";
   {
     segment_words;
     max_generation;
@@ -74,4 +91,6 @@ let v ?(segment_words = default.segment_words)
     generation_friendly_guardians;
     card_words;
     max_heap_words;
+    fail_segment_alloc_at;
+    corrupt_forward_period;
   }

@@ -27,6 +27,15 @@ type t = {
   max_heap_words : int;
       (** Hard ceiling on allocated words; {!Heap.Out_of_memory} once it
           would be exceeded (default: effectively unlimited). *)
+  fail_segment_alloc_at : int;
+      (** Fault injection (torture harness): the [n]th mutator segment
+          acquisition raises {!Heap.Out_of_memory}, once; 0 disables (the
+          default).  Collections are exempt.  See {!Heap.faults}. *)
+  corrupt_forward_period : int;
+      (** Debug bug (torture harness): every [n]th forwarded pointer is
+          deliberately corrupted to an interior address — a seeded defect
+          that {!Verify} and the torture oracle must detect; 0 disables
+          (the default). *)
 }
 
 val default_promote : gen:int -> max_generation:int -> int
@@ -43,6 +52,8 @@ val v :
   ?generation_friendly_guardians:bool ->
   ?card_words:int ->
   ?max_heap_words:int ->
+  ?fail_segment_alloc_at:int ->
+  ?corrupt_forward_period:int ->
   unit ->
   t
 (** Build a configuration, validating the parameters.

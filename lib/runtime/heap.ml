@@ -69,6 +69,18 @@ type protected = {
   p_gids : Vec.Int.t;
 }
 
+type faults = {
+  (* Fault-injection state for the torture harness (lib/torture).  Seeded
+     from the corresponding Config fields; re-armable at runtime. *)
+  mutable fail_segment_alloc_at : int;
+      (** mutator segment acquisitions remaining before a one-shot
+          {!Out_of_memory}; 0 = disarmed *)
+  mutable corrupt_forward_period : int;
+      (** corrupt every [n]th forwarded pointer; 0 = off *)
+  mutable forwards_seen : int;  (** forwards counted while the bug is armed *)
+  mutable injected : int;  (** faults actually fired so far *)
+}
+
 type t = {
   config : Config.t;
   stats : Stats.t;
@@ -107,6 +119,7 @@ type t = {
   mutable last_gc_generation : int;  (** oldest generation of the last GC *)
   mutable collect_request_handler : (t -> unit) option;
   mutable post_gc_hooks : (int * (t -> unit)) list;
+  faults : faults;
 }
 
 let fresh_info () =
@@ -181,9 +194,17 @@ let create ?(config = Config.default) () =
     last_gc_generation = -1;
     collect_request_handler = None;
     post_gc_hooks = [];
+    faults =
+      {
+        fail_segment_alloc_at = config.Config.fail_segment_alloc_at;
+        corrupt_forward_period = config.Config.corrupt_forward_period;
+        forwards_seen = 0;
+        injected = 0;
+      };
   }
 
 let config t = t.config
+let faults t = t.faults
 let stats t = t.stats
 let telemetry t = t.telemetry
 let gc_epoch t = t.gc_epoch
@@ -256,6 +277,16 @@ let acquire_segment t ~space ~generation ~min_words =
     (not t.in_collection)
     && t.segment_words_live + max min_words std > t.config.max_heap_words
   then raise Out_of_memory;
+  (* Fault injection: a one-shot mutator segment-acquisition failure,
+     counted down per acquisition.  Collections stay exempt so a fault
+     never strands a half-copied heap. *)
+  if (not t.in_collection) && t.faults.fail_segment_alloc_at > 0 then begin
+    t.faults.fail_segment_alloc_at <- t.faults.fail_segment_alloc_at - 1;
+    if t.faults.fail_segment_alloc_at = 0 then begin
+      t.faults.injected <- t.faults.injected + 1;
+      raise Out_of_memory
+    end
+  end;
   let seg =
     if min_words <= std then
       match t.free_std with

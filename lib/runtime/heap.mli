@@ -48,6 +48,20 @@ type seg_info = {
 
 type cursor = { mutable seg : int }
 
+type faults = {
+  mutable fail_segment_alloc_at : int;
+      (** mutator segment acquisitions remaining before a one-shot
+          {!Out_of_memory} (counted down per acquisition); 0 = disarmed *)
+  mutable corrupt_forward_period : int;
+      (** debug bug: corrupt every [n]th forwarded pointer to an interior
+          address during collections; 0 = off *)
+  mutable forwards_seen : int;
+  mutable injected : int;  (** faults actually fired so far *)
+}
+(** Fault-injection state for the torture harness ({!Gbc_torture}).
+    Seeded from {!Config.t}'s [fail_segment_alloc_at] /
+    [corrupt_forward_period]; the fields may be re-armed at runtime. *)
+
 type protected = {
   p_objs : Vec.Int.t;
   p_reps : Vec.Int.t;
@@ -97,11 +111,15 @@ type t = {
   mutable last_gc_generation : int;  (** oldest generation of the last GC *)
   mutable collect_request_handler : (t -> unit) option;
   mutable post_gc_hooks : (int * (t -> unit)) list;
+  faults : faults;
 }
 
 val create : ?config:Config.t -> unit -> t
 val config : t -> Config.t
 val stats : t -> Stats.t
+
+val faults : t -> faults
+(** The heap's fault-injection state (all zeroes unless armed). *)
 
 val telemetry : t -> Telemetry.t
 (** The heap's telemetry hub (created disabled; see {!Telemetry}). *)

@@ -1,0 +1,30 @@
+(** Splitmix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, full-period,
+    well-mixed generator whose whole state is one 64-bit word.  Chosen over
+    [Stdlib.Random] because its output is defined by the algorithm alone —
+    the same seed yields the same op trace on every platform, which the
+    harness's reproducibility contract requires. *)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* The modulo bias over a 63-bit range is < 2^-50 for any bound the
+     harness uses; determinism matters here, uniformity to the last bit
+     does not. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers for the torture harness.
+
+    A self-contained splitmix64 over [Int64], so a seed produces the exact
+    same stream on every platform and OCaml version — [Stdlib.Random]'s
+    stream is not pinned across releases, and bit-for-bit reproducibility
+    of `gbc_torture --seed S` is an acceptance criterion. *)
+
+type t
+
+val make : int -> t
+(** A generator seeded with [seed].  Distinct seeds give independent
+    streams. *)
+
+val copy : t -> t
+(** An independent generator continuing from the same state. *)
+
+val next : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound - 1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** A uniformly drawn element.  @raise Invalid_argument on [[||]]. *)

@@ -1,0 +1,138 @@
+(* The torture harness tested on itself:
+   - Verify has teeth: hand-corrupted heaps are caught (the checks the
+     harness trusts after every collection);
+   - clean seeds stay clean, bit-for-bit deterministically;
+   - the seeded forward-corruption bug is detected and shrunk small;
+   - the shrinker converges on a trace with one essential op;
+   - injected allocation faults are survived, not just tolerated. *)
+
+open Gbc_runtime
+module Torture = Gbc_torture.Torture
+
+let check = Alcotest.(check bool)
+let fx = Word.of_fixnum
+
+(* ------------------------------------------------------------------ *)
+(* Verify failure paths                                                *)
+
+let has_error what errs = List.exists (fun e -> e.Verify.what = what) errs
+
+let test_verify_catches_interior_pointer () =
+  let h = Heap.create ~config:(Config.v ~max_generation:2 ()) () in
+  let v = Obj.make_vector h ~len:4 ~init:Word.nil in
+  let p = Obj.cons h Word.nil Word.nil in
+  ignore (Heap.new_cell h v);
+  ignore (Heap.new_cell h p);
+  check "clean before corruption" true (Verify.verify h = []);
+  (* Plant a pointer at the vector's first field — past the header, so no
+     object starts there — writing raw, behind the barrier's back. *)
+  Heap.store h (Word.addr p) (Word.with_addr v (Word.addr v + 1));
+  check "interior pointer caught" true
+    (has_error "pointer to object interior" (Verify.verify h))
+
+let test_verify_catches_unbarriered_store () =
+  let h = Heap.create ~config:(Config.v ~max_generation:2 ()) () in
+  let c = Heap.new_cell h (Obj.make_vector h ~len:4 ~init:Word.nil) in
+  ignore (Collector.collect h ~gen:0);
+  ignore (Collector.collect h ~gen:1);
+  let v = Heap.read_cell h c in
+  Alcotest.(check int) "vector is old" 2 (Heap.generation_of_word h v);
+  (* An old-to-young store with Heap.store skips note_mutation: the card
+     stays clean, which is exactly the invariant Verify polices. *)
+  let young = Obj.cons h (fx 1) Word.nil in
+  Heap.store h (Word.addr v + 1) young;
+  let errs = Verify.verify h in
+  check "unbarriered store caught" true
+    (has_error "old-to-young pointer not remembered" errs
+    || has_error "old-to-young pointer's card not marked" errs)
+
+(* ------------------------------------------------------------------ *)
+(* Clean runs and determinism                                          *)
+
+let opts ?(faults = false) ?(inject_bug = false) ops =
+  { Torture.ops; faults; inject_bug }
+
+let assert_clean seed r =
+  match r.Torture.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "seed %d failed at op %d (%s): %s\nshrunk trace:\n%s" seed
+        f.Torture.op_index f.Torture.profile f.Torture.reason f.Torture.shrunk_trace
+
+let test_clean_seeds () =
+  List.iter
+    (fun seed -> assert_clean seed (Torture.run_seed ~seed ~opts:(opts 600)))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_deterministic () =
+  let run () = Torture.run_seed ~seed:42 ~opts:(opts ~faults:true 1200) in
+  let a = run () and b = run () in
+  check "structurally equal reports" true (a = b);
+  Alcotest.(check string)
+    "identical JSON" (Torture.json_of_reports [ a ]) (Torture.json_of_reports [ b ])
+
+(* ------------------------------------------------------------------ *)
+(* The seeded bug must be detected and shrunk                          *)
+
+let test_injected_bug_detected_and_shrunk () =
+  List.iter
+    (fun seed ->
+      let r = Torture.run_seed ~seed ~opts:(opts ~inject_bug:true 1500) in
+      match r.Torture.failure with
+      | None -> Alcotest.failf "seed %d: seeded corruption not detected" seed
+      | Some f ->
+          check "reason points at a real check" true (String.length f.Torture.reason > 0);
+          if f.Torture.shrunk_ops > 50 then
+            Alcotest.failf "seed %d: shrunk to %d ops (want <= 50)" seed
+              f.Torture.shrunk_ops)
+    [ 0; 3; 9 ]
+
+let test_shrink_converges () =
+  (* One op kind is essential, everything else is noise: ddmin must strip
+     the trace down to a single essential op. *)
+  let ops = Torture.gen_ops ~seed:11 200 in
+  let is_essential op = Format.asprintf "%a" Torture.pp_op op = "alloc-guardian" in
+  let test arr = Array.exists is_essential arr in
+  check "full trace satisfies the predicate" true (test ops);
+  let minimal = Torture.shrink ~test ops in
+  Alcotest.(check int) "converged to one op" 1 (Array.length minimal)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: survived, and actually exercised                   *)
+
+let test_fault_recovery () =
+  let injected = ref 0 and recovered = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = Torture.run_seed ~seed ~opts:(opts ~faults:true 800) in
+      assert_clean seed r;
+      List.iter
+        (fun e ->
+          injected := !injected + e.Torture.faults_injected;
+          recovered := !recovered + e.Torture.oom_recoveries)
+        r.Torture.episodes)
+    [ 0; 1; 2; 3; 4; 5 ];
+  check "some fault actually fired" true (!injected > 0);
+  check "every fired fault was recovered from" true (!recovered >= !injected)
+
+let () =
+  Alcotest.run "torture"
+    [
+      ( "verify-teeth",
+        [
+          Alcotest.test_case "interior pointer" `Quick test_verify_catches_interior_pointer;
+          Alcotest.test_case "unbarriered store" `Quick test_verify_catches_unbarriered_store;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "clean seeds" `Slow test_clean_seeds;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "fault recovery" `Slow test_fault_recovery;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "seeded bug detected + shrunk" `Slow
+            test_injected_bug_detected_and_shrunk;
+          Alcotest.test_case "ddmin convergence" `Quick test_shrink_converges;
+        ] );
+    ]
