@@ -789,6 +789,161 @@ let e14 () =
              Obj.vector_set h (Handle.get old_v) 0 (Handle.get young)));
     ]
 
+(* ================================================================== *)
+(* E16: heap images — save/load throughput and cold start              *)
+
+let e_image () =
+  section "E16  heap images: save/load throughput, size, cold start";
+  print_endline
+    "  A gbc-image/1 save serializes every live segment with pointers\n\
+    \  rewritten to a canonical numbering; a load rebuilds a fresh heap and\n\
+    \  relocates back.  Throughput is for in-memory bytes (no disk in the\n\
+    \  timed region).";
+  let best_of n f =
+    let r0, us0 = time_once f in
+    let r = ref r0 and best = ref us0 in
+    for _ = 2 to n do
+      let r', us = time_once f in
+      r := r';
+      if us < !best then best := us
+    done;
+    (!r, !best)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let h = make_heap ~config:cfg () in
+        let keep = Handle.create h Word.nil in
+        let g = Handle.create h (Guardian.make h) in
+        (* A representative mix: mostly pairs, some vectors and weak pairs,
+           a slice of the population registered with a guardian. *)
+        for i = 0 to n - 1 do
+          let x =
+            if i mod 17 = 0 then Obj.make_vector h ~len:8 ~init:(fx i)
+            else if i mod 11 = 0 then Obj.weak_cons h (fx i) Word.nil
+            else Obj.cons h (fx i) Word.nil
+          in
+          if i mod 13 = 0 then Guardian.register h (Handle.get g) x;
+          Handle.set keep (Obj.cons h x (Handle.get keep))
+        done;
+        full_collect h;
+        let live_bytes = 8 * Heap.live_words h in
+        let bytes, save_us =
+          best_of 3 (fun () -> Gbc_image.Image.save_string h)
+        in
+        let size = String.length bytes in
+        let loaded, load_us =
+          best_of 3 (fun () -> Gbc_image.Image.load_string bytes)
+        in
+        (* The same load with the post-load Verify sweep disabled — the
+           image_verify_on_load knob for trusted images (doc/TUNING.md). *)
+        let noverify =
+          Config.v ~max_generation:3 ~image_verify_on_load:false ()
+        in
+        let _, load_nv_us =
+          best_of 3 (fun () -> Gbc_image.Image.load_string ~config:noverify bytes)
+        in
+        let save_mb_s = float_of_int size /. save_us in
+        let load_mb_s = float_of_int size /. load_us in
+        let load_mw_s =
+          float_of_int loaded.Gbc_image.Image.restored_words /. load_us
+        in
+        Gc_report.add_extra (Printf.sprintf "image_save_mb_s_n%d" n) save_mb_s;
+        Gc_report.add_extra (Printf.sprintf "image_load_mb_s_n%d" n) load_mb_s;
+        Gc_report.add_extra
+          (Printf.sprintf "image_load_noverify_mb_s_n%d" n)
+          (float_of_int size /. load_nv_us);
+        Gc_report.add_extra
+          (Printf.sprintf "image_bytes_per_live_byte_n%d" n)
+          (float_of_int size /. float_of_int (max 1 live_bytes));
+        [
+          string_of_int n;
+          string_of_int live_bytes;
+          string_of_int size;
+          Printf.sprintf "%.2f" (float_of_int size /. float_of_int (max 1 live_bytes));
+          fmt_us save_us;
+          Printf.sprintf "%.1f" save_mb_s;
+          fmt_us load_us;
+          Printf.sprintf "%.1f" load_mb_s;
+          Printf.sprintf "%.1f" load_mw_s;
+          fmt_us load_nv_us;
+        ])
+      [ 10_000; 40_000; 160_000 ]
+  in
+  table
+    ~header:
+      [
+        "objects";
+        "live bytes";
+        "image bytes";
+        "ratio";
+        "save us";
+        "save MB/s";
+        "load us";
+        "load MB/s";
+        "load Mwords/s";
+        "load us (no verify)";
+      ]
+    rows;
+  print_endline
+    "  -> the image stays within a small constant of live data (segment\n\
+    \     padding plus tables); the load column includes the post-load Verify\n\
+    \     sweep, which the last column shows can be traded away\n\
+    \     (Config.image_verify_on_load).";
+  (* Cold start: restoring a checkpointed Scheme system vs replaying its
+     startup (prelude compile+eval plus the workload program). *)
+  subsection "cold start: restore a Scheme system image vs replay its startup";
+  let module Scheme = Gbc_scheme.Scheme in
+  let program =
+    "(define data\n\
+    \  (let loop ((i 0) (acc '()))\n\
+    \    (if (= i 3000) acc (loop (+ i 1) (cons (cons i (* i i)) acc)))))\n\
+     (define total\n\
+    \  (let loop ((l data) (n 0))\n\
+    \    (if (null? l) n (loop (cdr l) (+ n 1)))))"
+  in
+  let replay () =
+    let m = Scheme.create () in
+    ignore (Scheme.Machine.eval_string m program);
+    m
+  in
+  let m1, replay_us = best_of 3 (fun () -> replay ()) in
+  let path = Filename.temp_file "gbc_bench" ".img" in
+  Scheme.save_image m1 path;
+  let img_bytes = (Unix.stat path).Unix.st_size in
+  let m2, restore_us = best_of 3 (fun () -> Scheme.load_image path) in
+  let trusted = Config.v ~image_verify_on_load:false () in
+  let m3, restore_nv_us =
+    best_of 3 (fun () -> Scheme.load_image ~config:trusted path)
+  in
+  let a = Scheme.eval m1 "total" and b = Scheme.eval m2 "total" in
+  if a <> b then Printf.printf "  !! restored system disagrees: %s vs %s\n" a b;
+  Scheme.Machine.dispose m1;
+  Scheme.Machine.dispose m2;
+  Scheme.Machine.dispose m3;
+  Sys.remove path;
+  Gc_report.add_extra "image_cold_start_us" restore_us;
+  Gc_report.add_extra "image_cold_start_noverify_us" restore_nv_us;
+  Gc_report.add_extra "image_replay_us" replay_us;
+  Gc_report.add_extra "image_cold_start_speedup" (replay_us /. restore_nv_us);
+  table
+    ~header:[ "startup"; "us"; "notes" ]
+    [
+      [ "replay (create + prelude + program)"; fmt_us replay_us; "compiles and runs everything" ];
+      [
+        "restore from image";
+        fmt_us restore_us;
+        Printf.sprintf "%d image bytes, result %s" img_bytes b;
+      ];
+      [
+        "restore, verify off (trusted image)";
+        fmt_us restore_nv_us;
+        "CRC still checked";
+      ];
+    ];
+  Printf.printf "  -> a trusted-image cold start is %.1fx the replay speed.\n"
+    (replay_us /. restore_nv_us)
+
 let usage =
   "usage: main.exe [--json-out PATH] [--filter SUBSTR]\n\
   \  --json-out PATH   write the GC telemetry report to PATH\n\
@@ -847,6 +1002,7 @@ let () =
   run "e12" e12;
   run "e13" e13;
   run "e14" e14;
+  run "image" e_image;
   write_gc_json !json_out;
   Printf.printf "\nDone.  GC telemetry written to %s.\n" !json_out;
   print_endline "See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -9,15 +9,24 @@
      gbc_scheme --trace-out FILE   write a Chrome trace_event JSON of every
                                    collection phase (load in about:tracing
                                    or Perfetto)
+     gbc_scheme --load-image F   start from a gbc-image/1 heap image
+                                   instead of a cold boot
+     gbc_scheme --dump-image F   checkpoint the final system to a heap
+                                   image (suppresses the REPL when there
+                                   are no inputs)
 
    Flags compose freely with each other and with inputs; files and -e
-   expressions run in command-line order on one shared machine. *)
+   expressions run in command-line order on one shared machine.  The
+   (load-heap-image "f") primitive swaps the shared machine for one
+   restored from f: the rest of that input is discarded, later inputs
+   run on the restored system.  Corrupt, truncated or version-mismatched
+   images are reported on stderr and exit with status 2. *)
 
 open Gbc_scheme
 
 let usage =
   "usage: gbc_scheme [--gc-stats] [--gc-log] [--trace-out FILE] \
-   [-e EXPR | FILE]..."
+   [--load-image FILE] [--dump-image FILE] [-e EXPR | FILE]..."
 
 let print_stats m =
   let open Gbc_runtime in
@@ -31,7 +40,11 @@ let print_stats m =
     (Heap.live_segments h);
   Format.printf ";; census: %a@." Census.pp (Census.run h)
 
-let repl m =
+(* [swap] replaces the shared machine with one restored from an image
+   (the load-heap-image primitive signals up to here).  Image problems —
+   corrupt, truncated, wrong version, wrong geometry — exit 2 with the
+   image's one-line diagnostic, like any other bad command-line input. *)
+let repl mr ~swap =
   print_endline ";; guardians-in-a-generation-based-gc Scheme";
   print_endline ";; (make-guardian), (weak-cons a d), (collect [gen]) are built in; ^D exits";
   let rec loop () =
@@ -40,30 +53,32 @@ let repl m =
     | exception End_of_file -> print_newline ()
     | line ->
         (if String.trim line <> "" then
-           match Machine.eval_string m line with
+           match Machine.eval_string !mr line with
            | v ->
-               let s = Printer.to_string (Machine.heap m) v in
+               let s = Printer.to_string (Machine.heap !mr) v in
                if s <> "#<void>" then print_endline s
            | exception Machine.Error msg ->
                Printf.printf "error: %s\n" msg;
-               Machine.reset m
+               Machine.reset !mr
            | exception Reader.Error msg ->
                Printf.printf "read error: %s\n" msg
            | exception Compile.Error msg ->
                Printf.printf "compile error: %s\n" msg
-           | exception Machine.Exit_signal -> exit 0);
+           | exception Machine.Exit_signal -> exit 0
+           | exception Machine.Load_image_signal path -> swap path);
         loop ()
   in
   loop ()
 
-let run_file m path =
+let run_file mr ~swap path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  match Machine.eval_string m src with
+  match Machine.eval_string !mr src with
   | _ -> ()
   | exception Machine.Exit_signal -> ()
+  | exception Machine.Load_image_signal img -> swap img
   | exception Machine.Error msg ->
       Printf.eprintf "%s: error: %s\n" path msg;
       exit 1
@@ -82,6 +97,8 @@ type options = {
   gc_stats : bool;
   gc_log : bool;
   trace_out : string option;
+  load_image : string option;
+  dump_image : string option;
   inputs : input list;  (* in command-line order *)
 }
 
@@ -93,6 +110,8 @@ let parse_args argv =
         print_endline "  --gc-stats        print collector statistics at the end";
         print_endline "  --gc-log          log each collection to stderr";
         print_endline "  --trace-out FILE  write a Chrome trace_event JSON of GC phases";
+        print_endline "  --load-image FILE start from a gbc-image/1 heap image";
+        print_endline "  --dump-image FILE checkpoint the final system to a heap image";
         print_endline "  -e EXPR           evaluate an expression and print it";
         print_endline "  With no inputs, starts the interactive REPL.";
         exit 0
@@ -102,6 +121,18 @@ let parse_args argv =
         go { opts with trace_out = Some path } rest
     | [ "--trace-out" ] ->
         prerr_endline "gbc_scheme: --trace-out requires a file argument";
+        prerr_endline usage;
+        exit 2
+    | "--load-image" :: path :: rest when String.length path > 0 ->
+        go { opts with load_image = Some path } rest
+    | [ "--load-image" ] ->
+        prerr_endline "gbc_scheme: --load-image requires a file argument";
+        prerr_endline usage;
+        exit 2
+    | "--dump-image" :: path :: rest when String.length path > 0 ->
+        go { opts with dump_image = Some path } rest
+    | [ "--dump-image" ] ->
+        prerr_endline "gbc_scheme: --dump-image requires a file argument";
         prerr_endline usage;
         exit 2
     | "-e" :: expr :: rest -> go { opts with inputs = Expr expr :: opts.inputs } rest
@@ -115,15 +146,39 @@ let parse_args argv =
         exit 2
     | path :: rest -> go { opts with inputs = File path :: opts.inputs } rest
   in
-  go { gc_stats = false; gc_log = false; trace_out = None; inputs = [] } argv
+  go
+    { gc_stats = false; gc_log = false; trace_out = None; load_image = None;
+      dump_image = None; inputs = [] }
+    argv
+
+let image_failure msg =
+  Printf.eprintf "gbc_scheme: %s\n" msg;
+  exit 2
 
 let () =
   let open Gbc_runtime in
   let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
-  let m = Scheme.create () in
-  Machine.set_echo m true;
-  let tel = Heap.telemetry (Machine.heap m) in
-  if opts.gc_log then ignore (Telemetry.Log.attach tel Format.err_formatter);
+  let load_machine path =
+    try Scheme.load_image path with
+    | Gbc_image.Image.Error msg -> image_failure msg
+    | Sys_error msg -> image_failure msg
+  in
+  let mr =
+    ref
+      (match opts.load_image with
+      | None -> Scheme.create ()
+      | Some path -> load_machine path)
+  in
+  let attach_log m =
+    if opts.gc_log then
+      ignore
+        (Telemetry.Log.attach (Heap.telemetry (Machine.heap m))
+           Format.err_formatter)
+  in
+  Machine.set_echo !mr true;
+  attach_log !mr;
+  (* The Chrome trace stays attached to the machine it was opened on: a
+     trace file is a single JSON array and cannot span a machine swap. *)
   let chrome =
     Option.map
       (fun path ->
@@ -133,7 +188,7 @@ let () =
             Printf.eprintf "gbc_scheme: cannot open trace file: %s\n" msg;
             exit 2
         in
-        let c = Telemetry.Chrome.attach tel oc in
+        let c = Telemetry.Chrome.attach (Heap.telemetry (Machine.heap !mr)) oc in
         at_exit (fun () ->
             Telemetry.Chrome.close c;
             close_out oc);
@@ -141,10 +196,18 @@ let () =
       opts.trace_out
   in
   ignore chrome;
+  let swap path =
+    let m2 = load_machine path in
+    Machine.dispose !mr;
+    mr := m2;
+    Machine.set_echo !mr true;
+    attach_log !mr
+  in
   let run_expr expr =
-    match Machine.eval_string m expr with
-    | v -> print_endline (Printer.to_string (Machine.heap m) v)
+    match Machine.eval_string !mr expr with
+    | v -> print_endline (Printer.to_string (Machine.heap !mr) v)
     | exception Machine.Exit_signal -> ()
+    | exception Machine.Load_image_signal img -> swap img
     | exception Machine.Error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
@@ -156,9 +219,18 @@ let () =
         exit 1
   in
   (match opts.inputs with
-  | [] -> repl m
+  | [] ->
+      (* Batch image work (the CI save->load->save identity check among
+         it) must not fall into the REPL. *)
+      if opts.dump_image = None then repl mr ~swap
   | inputs ->
       List.iter
-        (function File path -> run_file m path | Expr e -> run_expr e)
+        (function File path -> run_file mr ~swap path | Expr e -> run_expr e)
         inputs);
-  if opts.gc_stats then print_stats m
+  (match opts.dump_image with
+  | None -> ()
+  | Some path -> (
+      try Scheme.save_image !mr path with
+      | Gbc_image.Image.Error msg -> image_failure msg
+      | Sys_error msg -> image_failure msg));
+  if opts.gc_stats then print_stats !mr

@@ -114,11 +114,13 @@ let () =
       match r.Torture.failure with
       | None ->
           if not !quiet then
-            Printf.printf "seed %d: ok (%d ops, %d collections, %d comparisons)\n"
+            Printf.printf
+              "seed %d: ok (%d ops, %d collections, %d comparisons, %d checkpoints)\n"
               r.Torture.seed
               (List.fold_left (fun a e -> a + e.Torture.ops_run) 0 r.Torture.episodes)
               (List.fold_left (fun a e -> a + e.Torture.collections) 0 r.Torture.episodes)
               (List.fold_left (fun a e -> a + e.Torture.comparisons) 0 r.Torture.episodes)
+              (List.fold_left (fun a e -> a + e.Torture.checkpoints) 0 r.Torture.episodes)
       | Some f ->
           Printf.printf "seed %d: FAIL at op %d (episode %d, profile %s)\n"
             r.Torture.seed f.Torture.op_index f.Torture.episode f.Torture.profile;

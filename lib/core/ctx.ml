@@ -11,5 +11,10 @@ type t = {
 let create ?config ?(fd_limit = 64) () =
   { heap = Heap.create ?config (); vfs = Gbc_vfs.Vfs.create ~fd_limit () }
 
+(* Adopt an existing heap (e.g. one rebuilt from a heap image) with a
+   fresh filesystem: open ports are host state and do not survive an
+   image, so the VFS starts empty. *)
+let of_heap ?(fd_limit = 64) heap = { heap; vfs = Gbc_vfs.Vfs.create ~fd_limit () }
+
 let heap t = t.heap
 let vfs t = t.vfs

@@ -9,5 +9,10 @@ type t = {
 }
 
 val create : ?config:Config.t -> ?fd_limit:int -> unit -> t
+
+(** Adopt an existing heap (e.g. one rebuilt from a heap image) with a
+    fresh, empty filesystem — open ports are host state and do not
+    survive an image. *)
+val of_heap : ?fd_limit:int -> Heap.t -> t
 val heap : t -> Heap.t
 val vfs : t -> Gbc_vfs.Vfs.t

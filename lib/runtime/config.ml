@@ -43,6 +43,12 @@ type t = {
           deliberately corrupted to an interior address, so {!Verify} and
           the differential oracle must catch it; 0 disables (the
           default). *)
+  image_verify_on_load : bool;
+      (** Run the {!Verify} invariant checker over a heap rebuilt from a
+          [gbc-image/1] file before handing it back (default [true]).
+          The check is a full O(live) sweep; embedders restoring large
+          trusted images on a startup-latency budget may turn it off —
+          the CRC still guards against corruption either way. *)
 }
 
 let default_promote ~gen ~max_generation = min (gen + 1) max_generation
@@ -59,6 +65,7 @@ let default =
     max_heap_words = max_int;
     fail_segment_alloc_at = 0;
     corrupt_forward_period = 0;
+    image_verify_on_load = true;
   }
 
 let v ?(segment_words = default.segment_words)
@@ -67,7 +74,7 @@ let v ?(segment_words = default.segment_words)
     ?(collect_radix = default.collect_radix) ?(promote = default_promote)
     ?(generation_friendly_guardians = true) ?(card_words = default.card_words)
     ?(max_heap_words = max_int) ?(fail_segment_alloc_at = 0)
-    ?(corrupt_forward_period = 0) () =
+    ?(corrupt_forward_period = 0) ?(image_verify_on_load = true) () =
   if segment_words < 8 then invalid_arg "Config.v: segment_words too small";
   if max_generation < 0 then invalid_arg "Config.v: negative max_generation";
   if max_generation > 254 then
@@ -93,4 +100,5 @@ let v ?(segment_words = default.segment_words)
     max_heap_words;
     fail_segment_alloc_at;
     corrupt_forward_period;
+    image_verify_on_load;
   }

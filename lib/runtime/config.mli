@@ -36,6 +36,12 @@ type t = {
           deliberately corrupted to an interior address — a seeded defect
           that {!Verify} and the torture oracle must detect; 0 disables
           (the default). *)
+  image_verify_on_load : bool;
+      (** Run the {!Verify} invariant checker over a heap rebuilt from a
+          [gbc-image/1] file before handing it back (default [true]).
+          A full O(live) sweep; may be disabled for large trusted images
+          on a startup-latency budget — the image CRC still guards
+          against corruption. *)
 }
 
 val default_promote : gen:int -> max_generation:int -> int
@@ -54,6 +60,7 @@ val v :
   ?max_heap_words:int ->
   ?fail_segment_alloc_at:int ->
   ?corrupt_forward_period:int ->
+  ?image_verify_on_load:bool ->
   unit ->
   t
 (** Build a configuration, validating the parameters.

@@ -43,3 +43,16 @@ let intern t name =
 
 let mem t name = Hashtbl.mem t.table name
 let count t = Hashtbl.length t.table
+
+(** All interned symbols as [(name, word)], sorted by name so the listing
+    is canonical (hash-table iteration order is not). *)
+let entries t =
+  Hashtbl.fold (fun name e acc -> (name, e.word) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Adopt [(name, word)] pairs restored from a heap image.  [word] must be
+    the symbol's address in [t]'s own heap (i.e. already relocated).
+    Existing entries for the same name are overwritten — restore into a
+    fresh machine before interning anything. *)
+let restore t pairs =
+  List.iter (fun (name, word) -> Hashtbl.replace t.table name { word }) pairs

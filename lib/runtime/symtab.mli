@@ -13,3 +13,12 @@ val dispose : t -> unit
 val intern : t -> string -> Word.t
 val mem : t -> string -> bool
 val count : t -> int
+
+val entries : t -> (string * Word.t) list
+(** All interned symbols as [(name, word)], sorted by name (canonical
+    order, for heap-image serialization). *)
+
+val restore : t -> (string * Word.t) list -> unit
+(** Adopt [(name, word)] pairs restored from a heap image; [word] must
+    already live in this table's heap.  Existing entries for the same
+    name are overwritten. *)

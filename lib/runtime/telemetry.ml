@@ -20,10 +20,25 @@ type phase =
   | Ephemeron_fixpoint
   | Weak_pass
   | Segment_reclaim
+  | Image_save
+  | Image_load
 
-let phase_count = 7
+let phase_count = 9
 
 let all_phases =
+  [
+    Root_scan;
+    Dirty_scan;
+    Cheney_copy;
+    Guardian_pass;
+    Ephemeron_fixpoint;
+    Weak_pass;
+    Segment_reclaim;
+    Image_save;
+    Image_load;
+  ]
+
+let collection_phases =
   [
     Root_scan;
     Dirty_scan;
@@ -42,6 +57,8 @@ let phase_index = function
   | Ephemeron_fixpoint -> 4
   | Weak_pass -> 5
   | Segment_reclaim -> 6
+  | Image_save -> 7
+  | Image_load -> 8
 
 let phase_name = function
   | Root_scan -> "root-scan"
@@ -51,6 +68,8 @@ let phase_name = function
   | Ephemeron_fixpoint -> "ephemeron-fixpoint"
   | Weak_pass -> "weak-pass"
   | Segment_reclaim -> "segment-reclaim"
+  | Image_save -> "image-save"
+  | Image_load -> "image-load"
 
 (* ------------------------------------------------------------------ *)
 (* Events                                                              *)
@@ -187,6 +206,15 @@ type t = {
   pauses : Histogram.t;
   mutable guardians : guardian_stats array;  (** indexed by gid *)
   mutable nguardians : int;
+  (* Heap-image I/O counters: plain bumps, always on (like the guardian
+     metrics), so an image round-trip is visible even when phase timing
+     is disabled. *)
+  mutable img_saves : int;
+  mutable img_loads : int;
+  mutable img_bytes_written : int;
+  mutable img_bytes_read : int;
+  mutable img_words_written : int;
+  mutable img_words_read : int;
 }
 
 type telemetry = t
@@ -209,6 +237,12 @@ let create () =
     pauses = Histogram.create ();
     guardians = [||];
     nguardians = 0;
+    img_saves = 0;
+    img_loads = 0;
+    img_bytes_written = 0;
+    img_bytes_read = 0;
+    img_words_written = 0;
+    img_words_read = 0;
   }
 
 let set_enabled t b = t.on <- b
@@ -360,6 +394,46 @@ let record_poll t ~gid ~hit ~epoch =
       if latency > g.g_latency_max then g.g_latency_max <- latency
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Heap-image I/O counters                                             *)
+
+type image_counters = {
+  saves : int;
+  loads : int;
+  bytes_written : int;
+  bytes_read : int;
+  words_written : int;
+  words_read : int;
+}
+
+let record_image_save t ~bytes ~words =
+  t.img_saves <- t.img_saves + 1;
+  t.img_bytes_written <- t.img_bytes_written + bytes;
+  t.img_words_written <- t.img_words_written + words
+
+let record_image_load t ~bytes ~words =
+  t.img_loads <- t.img_loads + 1;
+  t.img_bytes_read <- t.img_bytes_read + bytes;
+  t.img_words_read <- t.img_words_read + words
+
+let image_counters t =
+  {
+    saves = t.img_saves;
+    loads = t.img_loads;
+    bytes_written = t.img_bytes_written;
+    bytes_read = t.img_bytes_read;
+    words_written = t.img_words_written;
+    words_read = t.img_words_read;
+  }
+
+let restore_guardian_count t n =
+  (* Re-create the id space of a restored heap image: guardian objects in
+     the image carry gids in [0 .. n); each must resolve in
+     [guardian_stats] before any post-restore registration. *)
+  while t.nguardians < n do
+    ignore (new_guardian t)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Ring sink                                                           *)

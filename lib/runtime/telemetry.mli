@@ -29,9 +29,17 @@ type phase =
   | Weak_pass  (** mending or breaking weak-pair cars *)
   | Segment_reclaim
       (** weak-scanner notification, dirty-list rebuild, freeing from-space *)
+  | Image_save  (** serializing the heap to a [gbc-image/1] byte string *)
+  | Image_load
+      (** rebuilding a heap from an image: copy, relocate, re-verify *)
 
 val phase_count : int
 val all_phases : phase list
+
+val collection_phases : phase list
+(** The phases every collection runs, in order — {!all_phases} without
+    the image phases, which fire only on explicit checkpoint/restore. *)
+
 val phase_index : phase -> int
 val phase_name : phase -> string
 
@@ -185,6 +193,32 @@ val record_resurrection : t -> gid:int -> epoch:int -> unit
 
 val record_drop : t -> gid:int -> unit
 val record_poll : t -> gid:int -> hit:bool -> epoch:int -> unit
+
+val restore_guardian_count : t -> int -> unit
+(** [restore_guardian_count t n] re-creates the guardian-id space of a
+    restored heap image: after it, ids [0 .. n-1] resolve in
+    {!guardian_stats} (existing ids keep their metrics).  A no-op when
+    [n <= guardian_count t]. *)
+
+(** {1 Heap-image I/O counters}
+
+    Always on (plain counter bumps), accumulated by {e every}
+    image save/load against this hub.  The wall-clock side of image I/O
+    uses the {!Image_save}/{!Image_load} phases and is gated on the
+    enable flag like any other phase. *)
+
+type image_counters = {
+  saves : int;
+  loads : int;
+  bytes_written : int;  (** total on-disk bytes produced by saves *)
+  bytes_read : int;  (** total image bytes consumed by loads *)
+  words_written : int;  (** live heap words serialized *)
+  words_read : int;  (** heap words rebuilt by loads *)
+}
+
+val record_image_save : t -> bytes:int -> words:int -> unit
+val record_image_load : t -> bytes:int -> words:int -> unit
+val image_counters : t -> image_counters
 
 (** {1 Sinks} *)
 

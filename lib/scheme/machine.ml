@@ -12,6 +12,12 @@ open Gbc_runtime
 exception Error of string
 exception Exit_signal
 
+exception Load_image_signal of string
+(* Raised by the [load-heap-image] primitive.  The machine cannot replace
+   itself mid-execution, so the driver that owns it catches this, builds a
+   fresh machine from the image and continues on that one; forms remaining
+   in the input that ran the primitive are discarded, exec-like. *)
+
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type prim = {
@@ -221,12 +227,46 @@ let is_procedure m w = is_closure m w || is_continuation m w
 let define_prim m ~name ~arity_min ?(arity_max = arity_min) fn =
   Vec.Poly.push m.prims { pname = name; arity_min; arity_max; fn };
   let prim_id = Vec.Poly.length m.prims - 1 in
-  let c = make_closure_obj m ~code_id:(-1 - prim_id) ~nfree:0 in
-  define_global m name c
+  (* On a machine rebuilt from a heap image the global already holds this
+     primitive's closure (installation order is fixed, so the prim ids
+     match), and re-making it would allocate — spoiling the image's
+     save → load → save byte identity.  Bind only when unbound. *)
+  if lookup_global m name = None then begin
+    let c = make_closure_obj m ~code_id:(-1 - prim_id) ~nfree:0 in
+    define_global m name c
+  end
 
 let prim_of_closure m w =
   let id = Word.to_fixnum (Obj.field m.heap w 0) in
   if id < 0 then Some (Vec.Poly.get m.prims (-1 - id)) else None
+
+(* ------------------------------------------------------------------ *)
+(* Heap-image support                                                  *)
+
+(* The compiled-code table and the constants table live on the OCaml
+   side; Scheme_image carries them through a heap image as extra
+   sections.  Everything else a restored machine needs is either in the
+   heap (globals, symbols' global-cell links) or reinstalled by the
+   caller (primitives). *)
+
+let image_codes m = Array.init (Vec.Poly.length m.codes) (Vec.Poly.get m.codes)
+let image_consts m = Array.init (Vec.Int.length m.consts) (Vec.Int.get m.consts)
+
+let restore_image_state m ~codes ~consts ~symbols =
+  Vec.Poly.clear m.codes;
+  Array.iter (Vec.Poly.push m.codes) codes;
+  Vec.Int.clear m.consts;
+  Array.iter (Vec.Int.push m.consts) consts;
+  Symtab.restore m.symtab symbols;
+  (* Global cells keep their indices through an image, so the reverse
+     name map (for error messages) rebuilds from the symbol section. *)
+  List.iter
+    (fun (name, w) ->
+      if Obj.is_symbol m.heap w then begin
+        let idx = Obj.symbol_global m.heap w in
+        if idx >= 0 then Hashtbl.replace m.global_names idx name
+      end)
+    symbols
 
 (* ------------------------------------------------------------------ *)
 (* Stack                                                               *)

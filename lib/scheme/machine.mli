@@ -17,6 +17,13 @@ exception Error of string
 exception Exit_signal
 (** Raised by the [exit] primitive. *)
 
+exception Load_image_signal of string
+(** Raised by the [load-heap-image] primitive with the image path.  A
+    machine cannot replace itself mid-execution, so the driver that owns
+    it catches this, rebuilds a machine from the image
+    ({!Scheme.load_image}) and continues on that one.  Forms remaining in
+    the input that ran the primitive are discarded, exec-like. *)
+
 val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 type t
@@ -79,6 +86,28 @@ val define_prim :
 
 val in_handler : t -> bool
 val set_in_handler : t -> bool -> unit
+
+(** {1 Heap images}
+
+    The compiled-code and constants tables live on the OCaml side;
+    {!Scheme_image} carries them through a [gbc-image/1] file as extra
+    sections and puts them back with {!restore_image_state}. *)
+
+val image_codes : t -> Instr.code array
+(** Snapshot of the code table, index-stable. *)
+
+val image_consts : t -> Word.t array
+(** Snapshot of the constants table (heap words, index-stable). *)
+
+val restore_image_state :
+  t ->
+  codes:Instr.code array ->
+  consts:Word.t array ->
+  symbols:(string * Word.t) list ->
+  unit
+(** Install restored tables into a fresh machine over the restored heap,
+    adopt the symbol section into the interning table, and rebuild the
+    global-cell name map.  Call before {!Primitives.install}. *)
 
 val apply_closure : t -> Word.t -> Word.t list -> Word.t
 (** Call a Scheme closure from OCaml (used by the collect-request handler

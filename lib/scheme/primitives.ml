@@ -544,4 +544,20 @@ let install (m : Machine.t) =
       in
       err "error: %s" (String.concat " " parts));
   p "exit" ~min:0 ~max:1 (fun _ _ -> raise Machine.Exit_signal);
+
+  (* --- heap images -------------------------------------------------- *)
+  p1 "save-heap-image" (fun m w ->
+      (* Checkpoint the whole system (heap + symbols + code + constants)
+         to a gbc-image/1 file.  Captures global state, not the running
+         VM activation: a later load-heap-image starts at top level. *)
+      let path = Obj.string_to_ocaml h (want_string "save-heap-image" h w) in
+      (try Scheme_image.save m path with
+      | Gbc_image.Image.Error msg -> err "save-heap-image: %s" msg
+      | Sys_error msg -> err "save-heap-image: %s" msg);
+      Word.void);
+  p1 "load-heap-image" (fun _ w ->
+      (* The machine cannot replace itself; signal the owning driver,
+         which swaps machines and discards the rest of this input. *)
+      let path = Obj.string_to_ocaml h (want_string "load-heap-image" h w) in
+      raise (Machine.Load_image_signal path));
   ()

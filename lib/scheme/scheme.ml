@@ -13,6 +13,7 @@ module Compile = Compile
 module Machine = Machine
 module Printer = Printer
 module Primitives = Primitives
+module Scheme_image = Scheme_image
 
 (** A machine with primitives and the prelude installed. *)
 let create ?ctx ?config () =
@@ -20,6 +21,16 @@ let create ?ctx ?config () =
   Primitives.install m;
   ignore (Machine.eval_string m Prelude.source);
   m
+
+(** Checkpoint a whole system to a [gbc-image/1] file. *)
+let save_image m path = Scheme_image.save m path
+
+(** Rebuild a full Scheme system from a [gbc-image/1] file: primitives
+    reinstalled, prelude {e not} re-evaluated (its definitions are global
+    bindings restored with the heap).
+    @raise Gbc_image.Image.Error on a corrupt or incompatible image. *)
+let load_image ?config path =
+  Scheme_image.load ?config ~install:Primitives.install path
 
 (** Evaluate [src] and return the last form's value as a printed string. *)
 let eval m src = Printer.to_string (Machine.heap m) (Machine.eval_string m src)

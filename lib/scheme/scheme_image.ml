@@ -1,0 +1,229 @@
+(* Saving and restoring a whole Scheme system as a [gbc-image/1] file.
+
+   The heap image carries the heap itself (globals, symbols, guardians,
+   everything the runtime serializes); this module layers the machine's
+   OCaml-side state on top as named extra sections:
+
+     "scheme/consts"  the constants table, as relocated heap words
+     "scheme/codes"   the compiled-code table, as flat bytecode
+
+   and the image's symbol section is the interning table, so symbols
+   keep their identity across a restore.  A restored system needs its
+   primitives reinstalled (OCaml closures do not serialize); the
+   [install] callback — normally [Primitives.install] — does that.
+   Installation order is fixed, so the prim ids baked into primitive
+   closures in the restored heap resolve against the reinstalled table,
+   and the guarded [Machine.define_prim] allocates nothing for an
+   already-bound name, which keeps save -> load -> save byte-identical.
+
+   Instruction operands (constant indices, global-cell indices, code
+   ids) are all index-stable across an image: the image preserves global
+   cells by index and this module restores both tables in order. *)
+
+open Gbc_runtime
+module Image = Gbc_image.Image
+
+let codes_section = "scheme/codes"
+let consts_section = "scheme/consts"
+
+let corrupt fmt =
+  Format.kasprintf (fun s -> raise (Image.Error ("gbc-image: " ^ s))) fmt
+
+(* --- bytecode codec -------------------------------------------------- *)
+
+(* Per instruction: u8 opcode, then one i64 per operand (two for
+   Make_closure).  Imm carries a raw word, which for immediates needs the
+   full width.  The numbering below is part of the scheme/codes section
+   format; never reorder it. *)
+
+let opcode : Instr.instr -> int = function
+  | Instr.Const _ -> 0
+  | Instr.Imm _ -> 1
+  | Instr.Local_ref _ -> 2
+  | Instr.Free_ref _ -> 3
+  | Instr.Unbox -> 4
+  | Instr.Local_set_box _ -> 5
+  | Instr.Free_set_box _ -> 6
+  | Instr.Global_ref _ -> 7
+  | Instr.Global_set _ -> 8
+  | Instr.Global_define _ -> 9
+  | Instr.Push -> 10
+  | Instr.Box_local _ -> 11
+  | Instr.Make_closure _ -> 12
+  | Instr.Branch_false _ -> 13
+  | Instr.Jump _ -> 14
+  | Instr.Call _ -> 15
+  | Instr.Tail_call _ -> 16
+  | Instr.Return -> 17
+  | Instr.Halt -> 18
+
+let add_u8 b n = Buffer.add_uint8 b (n land 0xff)
+let add_u32 b n = Buffer.add_int32_le b (Int32.of_int n)
+let add_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_instr b i =
+  add_u8 b (opcode i);
+  match i with
+  | Instr.Const n | Instr.Imm n | Instr.Local_ref n | Instr.Free_ref n
+  | Instr.Local_set_box n | Instr.Free_set_box n | Instr.Global_ref n
+  | Instr.Global_set n | Instr.Global_define n | Instr.Box_local n
+  | Instr.Branch_false n | Instr.Jump n | Instr.Call n | Instr.Tail_call n
+    ->
+      add_i64 b n
+  | Instr.Make_closure { code_id; nfree } ->
+      add_i64 b code_id;
+      add_i64 b nfree
+  | Instr.Unbox | Instr.Push | Instr.Return | Instr.Halt -> ()
+
+let encode_codes (codes : Instr.code array) : string =
+  let b = Buffer.create 4096 in
+  add_u32 b (Array.length codes);
+  Array.iter
+    (fun (c : Instr.code) ->
+      add_str b c.Instr.name;
+      add_u32 b (List.length c.Instr.clauses);
+      List.iter
+        (fun (cl : Instr.clause) ->
+          add_u32 b cl.Instr.required;
+          add_u8 b (if cl.Instr.rest then 1 else 0);
+          add_u32 b (Array.length cl.Instr.instrs);
+          Array.iter (encode_instr b) cl.Instr.instrs)
+        c.Instr.clauses)
+    codes;
+  Buffer.contents b
+
+(* The section sits inside the image's CRC, so corruption is caught
+   before we get here; the bounds checks below guard against a section
+   written by something that is not this codec. *)
+type rd = { s : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.s then
+    corrupt "scheme/codes section is truncated"
+
+let ru8 r =
+  need r 1;
+  let v = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let ru32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.s r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let ri64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.s r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let rstr r =
+  let n = ru32 r in
+  need r n;
+  let v = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let decode_instr r : Instr.instr =
+  match ru8 r with
+  | 0 -> Instr.Const (ri64 r)
+  | 1 -> Instr.Imm (ri64 r)
+  | 2 -> Instr.Local_ref (ri64 r)
+  | 3 -> Instr.Free_ref (ri64 r)
+  | 4 -> Instr.Unbox
+  | 5 -> Instr.Local_set_box (ri64 r)
+  | 6 -> Instr.Free_set_box (ri64 r)
+  | 7 -> Instr.Global_ref (ri64 r)
+  | 8 -> Instr.Global_set (ri64 r)
+  | 9 -> Instr.Global_define (ri64 r)
+  | 10 -> Instr.Push
+  | 11 -> Instr.Box_local (ri64 r)
+  | 12 ->
+      let code_id = ri64 r in
+      let nfree = ri64 r in
+      Instr.Make_closure { code_id; nfree }
+  | 13 -> Instr.Branch_false (ri64 r)
+  | 14 -> Instr.Jump (ri64 r)
+  | 15 -> Instr.Call (ri64 r)
+  | 16 -> Instr.Tail_call (ri64 r)
+  | 17 -> Instr.Return
+  | 18 -> Instr.Halt
+  | op -> corrupt "scheme/codes: unknown opcode %d" op
+
+let decode_codes (s : string) : Instr.code array =
+  let r = { s; pos = 0 } in
+  let ncodes = ru32 r in
+  let codes =
+    Array.init ncodes (fun _ -> { Instr.name = ""; clauses = [] })
+  in
+  for ci = 0 to ncodes - 1 do
+    let name = rstr r in
+    let nclauses = ru32 r in
+    let clauses = ref [] in
+    for _ = 1 to nclauses do
+      let required = ru32 r in
+      let rest = ru8 r <> 0 in
+      let ninstrs = ru32 r in
+      let instrs = Array.make ninstrs Instr.Halt in
+      for i = 0 to ninstrs - 1 do
+        instrs.(i) <- decode_instr r
+      done;
+      clauses := { Instr.required; rest; instrs } :: !clauses
+    done;
+    codes.(ci) <- { Instr.name; clauses = List.rev !clauses }
+  done;
+  if r.pos <> String.length s then
+    corrupt "scheme/codes: %d trailing bytes" (String.length s - r.pos);
+  codes
+
+(* --- save ------------------------------------------------------------ *)
+
+let sections m =
+  let symbols = Symtab.entries (Machine.symtab m) in
+  let extras =
+    [
+      (consts_section, { Image.xwords = Machine.image_consts m; xbytes = "" });
+      ( codes_section,
+        { Image.xwords = [||]; xbytes = encode_codes (Machine.image_codes m) }
+      );
+    ]
+  in
+  (symbols, extras)
+
+let save_string m =
+  let symbols, extras = sections m in
+  Image.save_string ~symbols ~extras (Machine.heap m)
+
+let save m path =
+  let symbols, extras = sections m in
+  Image.save_image ~symbols ~extras (Machine.heap m) path
+
+(* --- load ------------------------------------------------------------ *)
+
+let restore ~install (l : Image.loaded) =
+  let section name =
+    match List.assoc_opt name l.Image.extras with
+    | Some x -> x
+    | None -> corrupt "not a Scheme system image (missing %s section)" name
+  in
+  let consts = (section consts_section).Image.xwords in
+  let codes = decode_codes (section codes_section).Image.xbytes in
+  let ctx = Gbc.Ctx.of_heap l.Image.heap in
+  let m = Machine.create ~ctx () in
+  Machine.restore_image_state m ~codes ~consts ~symbols:l.Image.symbols;
+  (* Primitives are OCaml closures: reinstall.  The prelude is NOT
+     re-evaluated — its definitions are global bindings living in the
+     restored heap. *)
+  install m;
+  m
+
+let load ?config ~install path = restore ~install (Image.load_image ?config path)
+
+let load_string ?config ~install s =
+  restore ~install (Image.load_string ?config s)

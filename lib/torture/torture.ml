@@ -12,6 +12,7 @@
       anywhere on the result path. *)
 
 open Gbc_runtime
+module Image = Gbc_image.Image
 
 type value = Oracle.value = Imm of Word.t | Ref of int
 
@@ -34,6 +35,7 @@ type op =
   | Poll of int
   | Unroot of int
   | Mutation_storm of int * int
+  | Checkpoint
   | Collect of int
 
 let pp_op ppf = function
@@ -55,6 +57,7 @@ let pp_op ppf = function
   | Poll a -> Format.fprintf ppf "poll %d" a
   | Unroot a -> Format.fprintf ppf "unroot %d" a
   | Mutation_storm (a, b) -> Format.fprintf ppf "mutation-storm %d %d" a b
+  | Checkpoint -> Format.fprintf ppf "checkpoint"
   | Collect a -> Format.fprintf ppf "collect %d" a
 
 (* ------------------------------------------------------------------ *)
@@ -72,7 +75,7 @@ type tracked = {
 }
 
 type st = {
-  h : Heap.t;
+  mutable h : Heap.t;  (** replaced wholesale by a [Checkpoint] op *)
   o : Oracle.t;
   mutable nodes : tracked array;
   mutable nnodes : int;
@@ -80,7 +83,23 @@ type st = {
   mutable verify_checks : int;
   mutable comparisons : int;
   mutable oom_recoveries : int;
+  mutable checkpoints : int;
 }
+
+(* The weak scanner keeps every tracked word current without keeping
+   anything alive: it runs after each collection's weak pass.  Registered
+   once per heap — again after every checkpoint swap. *)
+let register_tracker st =
+  ignore
+    (Heap.add_weak_scanner st.h (fun lookup ->
+         for i = 0 to st.nnodes - 1 do
+           let tr = st.nodes.(i) in
+           if tr.halive then
+             match lookup tr.word with
+             | Some w -> tr.word <- w
+             | None -> tr.halive <- false
+         done)
+      : int)
 
 let new_state config =
   let h = Heap.create ~config () in
@@ -90,19 +109,9 @@ let new_state config =
   in
   let st =
     { h; o; nodes = [||]; nnodes = 0; collections = 0; verify_checks = 0;
-      comparisons = 0; oom_recoveries = 0 }
+      comparisons = 0; oom_recoveries = 0; checkpoints = 0 }
   in
-  (* The weak scanner keeps every tracked word current without keeping
-     anything alive: it runs after each collection's weak pass. *)
-  ignore
-    (Heap.add_weak_scanner h (fun lookup ->
-         for i = 0 to st.nnodes - 1 do
-           let tr = st.nodes.(i) in
-           if tr.halive then
-             match lookup tr.word with
-             | Some w -> tr.word <- w
-             | None -> tr.halive <- false
-         done));
+  register_tracker st;
   st
 
 let track st word rooted =
@@ -373,6 +382,53 @@ let rec interp st op =
         | 2 -> interp st (Vector_set (s (), s (), s ()))
         | _ -> interp st (Box_set (s (), s ()))
       done
+  | Checkpoint ->
+      (* Serialize the whole heap, rebuild a fresh one from the bytes, and
+         continue the episode against the restored heap.  The tracked
+         words ride along in an extra section (relocated like any heap
+         slot) so the driver can re-point its mirror; dead slots carry an
+         immediate placeholder.  Before the swap, a second save of the
+         restored heap must reproduce the image byte-for-byte — the
+         canonical-form contract.  After it, [compare_all] demands the
+         restored heap still agrees with the oracle exactly as the old
+         one did.  The fault state is carried across by hand (the loader
+         is exempt; the countdown must not notice the swap). *)
+      let section w = [ ("torture/tracked", { Image.xwords = w; xbytes = "" }) ] in
+      let tracked =
+        Array.init st.nnodes (fun i ->
+            let tr = st.nodes.(i) in
+            if tr.halive then tr.word else Word.of_fixnum 0)
+      in
+      let bytes = Image.save_string ~extras:(section tracked) st.h in
+      let l = Image.load_string ~config:(Heap.config st.h) bytes in
+      let tracked' =
+        match List.assoc_opt "torture/tracked" l.Image.extras with
+        | Some e -> e.Image.xwords
+        | None -> failf "checkpoint: tracked section missing after restore"
+      in
+      if Array.length tracked' <> st.nnodes then
+        failf "checkpoint: tracked section resized (%d vs %d words)"
+          (Array.length tracked') st.nnodes;
+      let bytes' = Image.save_string ~extras:(section tracked') l.Image.heap in
+      if not (String.equal bytes bytes') then
+        failf "checkpoint: save -> load -> save not byte-identical (%d vs %d bytes)"
+          (String.length bytes) (String.length bytes');
+      (* Only now is it safe to abandon the old heap. *)
+      let fo = Heap.faults st.h and fn = Heap.faults l.Image.heap in
+      fn.Heap.fail_segment_alloc_at <- fo.Heap.fail_segment_alloc_at;
+      fn.Heap.corrupt_forward_period <- fo.Heap.corrupt_forward_period;
+      fn.Heap.forwards_seen <- fo.Heap.forwards_seen;
+      fn.Heap.injected <- fo.Heap.injected;
+      st.h <- l.Image.heap;
+      for i = 0 to st.nnodes - 1 do
+        let tr = st.nodes.(i) in
+        if tr.halive then tr.word <- tracked'.(i)
+      done;
+      register_tracker st;
+      st.checkpoints <- st.checkpoints + 1;
+      if (Heap.config st.h).Config.image_verify_on_load then
+        st.verify_checks <- st.verify_checks + 1;
+      compare_all st ~gen:0
   | Collect sel -> do_collect st (collect_gen st sel)
 
 (* Out-of-memory is a survivable event: the heap stays consistent, the
@@ -409,6 +465,7 @@ type episode_summary = {
   verify_checks : int;
   comparisons : int;
   oom_recoveries : int;
+  checkpoints : int;
   faults_injected : int;
 }
 
@@ -468,6 +525,7 @@ let run_episode ~config ~arm_fault ops =
       verify_checks = st.verify_checks;
       comparisons = st.comparisons;
       oom_recoveries = st.oom_recoveries;
+      checkpoints = st.checkpoints;
       faults_injected = (Heap.faults st.h).Heap.injected;
     }
   in
@@ -548,7 +606,8 @@ let gen_op rng =
   else if r < 74 then Register_rep (s (), s (), s ())
   else if r < 80 then Poll (s ())
   else if r < 87 then Unroot (s ())
-  else if r < 90 then Mutation_storm (s (), s ())
+  else if r < 89 then Mutation_storm (s (), s ())
+  else if r < 90 then Checkpoint
   else Collect (s ())
 
 let gen_ops ~seed n =
@@ -629,6 +688,7 @@ let json_of_reports reports =
   pr "    \"verify_checks\": %d,\n" (total (fun e -> e.verify_checks));
   pr "    \"comparisons\": %d,\n" (total (fun e -> e.comparisons));
   pr "    \"oom_recoveries\": %d,\n" (total (fun e -> e.oom_recoveries));
+  pr "    \"checkpoints\": %d,\n" (total (fun e -> e.checkpoints));
   pr "    \"faults_injected\": %d,\n" (total (fun e -> e.faults_injected));
   pr "    \"failures\": %d\n"
     (List.length (List.filter (fun r -> r.failure <> None) reports));
@@ -642,9 +702,9 @@ let json_of_reports reports =
           pr
             "        {\"profile\": \"%s\", \"ops_run\": %d, \"collections\": %d, \
              \"verify_checks\": %d, \"comparisons\": %d, \"oom_recoveries\": %d, \
-             \"faults_injected\": %d}%s\n"
+             \"checkpoints\": %d, \"faults_injected\": %d}%s\n"
             (json_escape e.profile) e.ops_run e.collections e.verify_checks e.comparisons
-            e.oom_recoveries e.faults_injected
+            e.oom_recoveries e.checkpoints e.faults_injected
             (if j = List.length r.episodes - 1 then "" else ","))
         r.episodes;
       pr "      ],\n";

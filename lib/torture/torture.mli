@@ -3,8 +3,10 @@
     A seed expands to a program over the runtime API — an allocation mix of
     pairs, weak pairs, ephemerons, vectors, boxes, tconcs and guardians;
     guardian register/poll/drop (including guardian-of-guardian chains);
-    mutation storms that exercise the card-marking write barrier —
-    interleaved with forced collections of seed-chosen target generations.
+    mutation storms that exercise the card-marking write barrier;
+    checkpoint ops that serialize the heap to a {!Gbc_image.Image} and
+    swap in the restored copy mid-episode — interleaved with forced
+    collections of seed-chosen target generations.
     After {e every} collection the harness runs the {!Verify} invariant
     checker and compares the heap against the {!Oracle} semispace model:
     per-object liveness, structure, weak/ephemeron breaking, guardian
@@ -46,6 +48,10 @@ type episode_summary = {
   verify_checks : int;
   comparisons : int;
   oom_recoveries : int;
+  checkpoints : int;
+      (** mid-episode heap-image save/restore round-trips, each asserting
+          save → load → save byte-identity and full oracle agreement on
+          the restored heap *)
   faults_injected : int;
 }
 

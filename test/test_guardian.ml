@@ -347,6 +347,68 @@ let prop_partition =
       let returned = retrieve_all h (Handle.get g) in
       List.length returned = List.length keep_flags - List.length kept)
 
+(* Guardian state through a heap image (gbc-image/1): the paper's
+   semantics must be indistinguishable across a checkpoint/restore. *)
+
+let image_roundtrip h gword =
+  let extras =
+    [ ("g", { Gbc_image.Image.xwords = [| gword |]; xbytes = "" }) ]
+  in
+  let s = Gbc_image.Image.save_string ~extras h in
+  let l = Gbc_image.Image.load_string ~config:(Heap.config h) s in
+  (l.Gbc_image.Image.heap, (List.assoc "g" l.Gbc_image.Image.extras).Gbc_image.Image.xwords.(0))
+
+let test_image_roundtrip_mid_lifecycle () =
+  (* One object already queued, one still registered-but-live, one
+     registered and dead-but-uncollected: all three states survive the
+     image and play out identically on the restored heap. *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  Guardian.register h (Handle.get g) (Obj.cons h (fx 1) Word.nil);
+  full_collect h;
+  check_int "one queued pre-image" 1 (Guardian.pending_count h (Handle.get g));
+  let live = Obj.cons h (fx 2) Word.nil in
+  Heap.with_cell h live (fun livec ->
+      Guardian.register h (Handle.get g) live;
+      Guardian.register h (Handle.get g) (Obj.cons h (fx 3) Word.nil);
+      let h', g' = image_roundtrip h (Handle.get g) in
+      check_int "queued entry restored" 1 (Guardian.pending_count h' g');
+      Heap.with_cell h' g' (fun gc ->
+          (* Global root cells ride along in the image, so object 2 is
+             still rooted on the restored heap (through the restored
+             cell) and stays silent; 1 (queued) and 3 (dead) fire. *)
+          full_collect h';
+          let poll () =
+            List.sort compare
+              (List.map
+                 (fun w -> Word.to_fixnum (Obj.car h' w))
+                 (retrieve_all h' (Heap.read_cell h' gc)))
+          in
+          Alcotest.(check (list int)) "queued + dead fire, live silent"
+            [ 1; 3 ] (poll ());
+          (* Drop the restored root: the live registration now fires. *)
+          Heap.free_cell h' livec;
+          full_collect h';
+          Alcotest.(check (list int)) "fires once its restored root dies"
+            [ 2 ] (poll ())))
+
+let test_image_roundtrip_representative () =
+  (* A §5 representative registration crosses the image: the rep, not
+     the object, comes back. *)
+  let h = heap () in
+  let g = Handle.create h (Guardian.make h) in
+  let obj = Obj.cons h (fx 10) Word.nil in
+  let rep = Obj.cons h (fx 20) Word.nil in
+  Guardian.register_with_rep h (Handle.get g) ~obj ~rep;
+  let h', g' = image_roundtrip h (Handle.get g) in
+  Heap.with_cell h' g' (fun gc ->
+      full_collect h';
+      let got =
+        Option.get (Guardian.retrieve h' (Heap.read_cell h' gc))
+      in
+      check_int "representative returned post-restore" 20
+        (Word.to_fixnum (Obj.car h' got)))
+
 let () =
   Alcotest.run "guardian"
     [
@@ -382,6 +444,13 @@ let () =
           Alcotest.test_case "poll latency" `Quick test_poll_latency;
           Alcotest.test_case "drops per guardian" `Quick
             test_drop_counted_per_guardian;
+        ] );
+      ( "heap image",
+        [
+          Alcotest.test_case "mid-lifecycle round-trip" `Quick
+            test_image_roundtrip_mid_lifecycle;
+          Alcotest.test_case "representative round-trip" `Quick
+            test_image_roundtrip_representative;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_partition ]);
     ]

@@ -47,7 +47,7 @@ let test_phase_events_nest () =
       in
       check_int (Telemetry.phase_name ph ^ " begins once") 1 (List.length begins);
       check_int (Telemetry.phase_name ph ^ " ends once") 1 (List.length ends))
-    Telemetry.all_phases;
+    Telemetry.collection_phases;
   let depth = ref 0 in
   List.iter
     (function
@@ -358,7 +358,7 @@ let test_chrome_json_round_trips () =
     (fun phname ->
       check_int (phname ^ " B twice") 2 (count phname "B");
       check_int (phname ^ " E twice") 2 (count phname "E"))
-    (List.map Telemetry.phase_name Telemetry.all_phases);
+    (List.map Telemetry.phase_name Telemetry.collection_phases);
   check_int "collection B" 2 (count "collection" "B");
   check_int "collection E" 2 (count "collection" "E");
   (* The collection-end args carry the resurrection counter. *)
